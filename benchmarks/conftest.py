@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment exactly once (simulations are
+deterministic), archives the resulting table under
+``benchmarks/results/``, and asserts the qualitative shape the paper
+reports.  Set ``REPRO_BENCH_SMALL=1`` to run scaled-down experiments
+(used by CI smoke runs); the default sizes reproduce the shapes
+described in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scaled-down mode for quick runs.
+SMALL = os.environ.get("REPRO_BENCH_SMALL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where figure tables are archived."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def archive(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one figure's table (and echo it for -s runs)."""
+    path = results_dir / name
+    path.write_text(text)
+    print(f"\n{text}")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

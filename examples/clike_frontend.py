@@ -1,0 +1,85 @@
+"""Compiling C-like source through the whole pipeline.
+
+Demonstrates the frontend (lexer -> parser -> SSA lowering -> mem2reg),
+the role of ``restrict`` in making the fault-avoidance analysis succeed,
+and hand-written ``prefetch(...)`` statements versus the automatic pass.
+
+Run:  python examples/clike_frontend.py
+"""
+
+import numpy as np
+
+from repro.frontend import compile_source
+from repro.ir import print_module
+from repro.machine import HASWELL, Interpreter, Memory
+from repro.passes import IndirectPrefetchPass
+
+WITHOUT_RESTRICT = """
+void scatter_add(long* dst, long* idx, long* src, long n) {
+    for (long i = 0; i < n; i++)
+        dst[idx[i]] += src[i];
+}
+"""
+
+WITH_RESTRICT = WITHOUT_RESTRICT.replace(
+    "long* dst, long* idx, long* src",
+    "long* restrict dst, long* restrict idx, long* restrict src")
+
+HAND_PREFETCHED = """
+void scatter_add(long* restrict dst, long* restrict idx,
+                 long* restrict src, long n) {
+    for (long i = 0; i < n - 64; i++) {
+        prefetch(idx[i + 64]);
+        prefetch(dst[idx[i + 32]]);
+        dst[idx[i]] += src[i];
+    }
+    for (long i = n - 64 < 0 ? 0 : n - 64; i < n; i++)
+        dst[idx[i]] += src[i];
+}
+"""
+
+
+def try_pass(label: str, source: str) -> None:
+    module = compile_source(source)
+    report = IndirectPrefetchPass().run(module)
+    print(f"--- {label} ---")
+    print(report.summary())
+    print()
+
+
+def run_timed(source: str, transform: bool) -> float:
+    module = compile_source(source)
+    if transform:
+        IndirectPrefetchPass().run(module)
+    n, width = 12_000, 1 << 20
+    rng = np.random.default_rng(3)
+    memory = Memory()
+    dst = memory.allocate(8, width, "dst")
+    idx = memory.allocate(8, n + 256, "idx")
+    idx.fill(np.concatenate([rng.integers(0, width, n),
+                             np.zeros(256, dtype=np.int64)]))
+    src = memory.allocate(8, n, "src")
+    src.fill(rng.integers(0, 100, n))
+    interp = Interpreter(module, memory, machine=HASWELL)
+    return interp.run("scatter_add",
+                      [dst.base, idx.base, src.base, n]).cycles
+
+
+def main() -> None:
+    # Without restrict the pass must assume dst stores clobber idx.
+    try_pass("without restrict (pass refuses: may-alias)",
+             WITHOUT_RESTRICT)
+    try_pass("with restrict (pass fires)", WITH_RESTRICT)
+
+    print("--- hand-prefetched source (loop split by hand) ---")
+    print(print_module(compile_source(HAND_PREFETCHED)))
+
+    base = run_timed(WITH_RESTRICT, transform=False)
+    auto = run_timed(WITH_RESTRICT, transform=True)
+    hand = run_timed(HAND_PREFETCHED, transform=False)
+    print(f"Haswell: plain {base:,.0f} cycles | "
+          f"auto {base / auto:.2f}x | hand-written {base / hand:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Hash-join probing with automatic and manual prefetching.
+
+Reproduces the paper's HJ-2/HJ-8 story in miniature: the automatic pass
+covers the hash-computed bucket access but correctly refuses to prefetch
+through the data-dependent linked-list walk; the manual scheme exploits
+the runtime knowledge that HJ-8 buckets hold exactly three chained nodes
+and staggers prefetches across the whole chain (Fig. 7).
+
+Run:  python examples/database_hash_join.py
+"""
+
+from repro.bench import run_variant
+from repro.machine import A53, HASWELL
+from repro.passes import IndirectPrefetchPass
+from repro.workloads import hj2, hj8
+
+
+def show_pass_report() -> None:
+    module = hj8(num_probes=1000, num_buckets=1 << 10).build()
+    report = IndirectPrefetchPass().run(module)
+    print("--- automatic pass on the HJ-8 probe kernel ---")
+    print(report.summary())
+    print()
+
+
+def compare(workload_factory, machine, depths=(1, 2, 3, 4)) -> None:
+    workload = workload_factory()
+    plain = run_variant(workload, "plain", machine)
+    auto = run_variant(workload, "auto", machine)
+    print(f"{workload.name} on {machine.name}: "
+          f"auto {plain.cycles / auto.cycles:.2f}x", end="")
+    if workload.nodes_per_bucket:
+        print("  | manual by stagger depth:", end="")
+        for depth in depths:
+            manual = run_variant(workload, "manual", machine,
+                                 stagger_depth=depth)
+            print(f"  {depth}:{plain.cycles / manual.cycles:.2f}x",
+                  end="")
+    print()
+
+
+def main() -> None:
+    show_pass_report()
+    small_hj2 = lambda: hj2(num_probes=6000, num_buckets=1 << 16)
+    small_hj8 = lambda: hj8(num_probes=4000, num_buckets=1 << 14)
+    for machine in (HASWELL, A53):
+        compare(small_hj2, machine)
+        compare(small_hj8, machine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of *Software Prefetching for Indirect Memory
+Accesses* (Ainsworth & Jones, CGO 2017).
+
+The package provides:
+
+* :mod:`repro.ir` — a small SSA intermediate representation;
+* :mod:`repro.analysis` — loops, dominators, induction variables, aliasing;
+* :mod:`repro.passes` — the automatic indirect-prefetch pass (the paper's
+  contribution), an ICC-like stride-indirect baseline, and generic
+  cleanups;
+* :mod:`repro.frontend` — a C-like language that lowers to the IR;
+* :mod:`repro.machine` — an execution-driven timing simulator with cache,
+  TLB, DRAM, and hardware-prefetcher models, configured as the paper's
+  four systems (Haswell, Xeon Phi, Cortex-A57, Cortex-A53);
+* :mod:`repro.workloads` — the paper's seven benchmarks expressed in IR;
+* :mod:`repro.bench` — the experiment harness that regenerates every
+  table and figure of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ir", "analysis", "passes", "frontend", "machine", "workloads",
+           "bench"]

@@ -1,0 +1,153 @@
+"""Control-flow graph analyses: orderings, dominators, frontiers.
+
+Dominators use the Cooper-Harvey-Kennedy iterative algorithm, which is
+simple and fast for the CFG sizes this project manipulates.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+def successor_map(func: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Map each block to its successor list."""
+    return {block: block.successors for block in func.blocks}
+
+
+def predecessor_map(func: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Map each block to its predecessor list (single scan, O(E))."""
+    preds: dict[BasicBlock, list[BasicBlock]] = {
+        block: [] for block in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors:
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(func: Function) -> list[BasicBlock]:
+    """Blocks reachable from entry, in reverse postorder."""
+    visited: set[int] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        # Iterative DFS with an explicit stack to avoid recursion limits.
+        stack: list[tuple[BasicBlock, int]] = [(block, 0)]
+        visited.add(id(block))
+        while stack:
+            current, index = stack.pop()
+            succs = current.successors
+            if index < len(succs):
+                stack.append((current, index + 1))
+                child = succs[index]
+                if id(child) not in visited:
+                    visited.add(id(child))
+                    stack.append((child, 0))
+            else:
+                order.append(current)
+
+    visit(func.entry)
+    order.reverse()
+    return order
+
+
+def dominators(func: Function) -> dict[BasicBlock, BasicBlock | None]:
+    """Immediate dominators for all reachable blocks.
+
+    Returns a map ``block -> idom``; the entry block maps to ``None``.
+    Unreachable blocks are absent from the map.
+    """
+    rpo = reverse_postorder(func)
+    index = {id(b): i for i, b in enumerate(rpo)}
+    preds = predecessor_map(func)
+    entry = func.entry
+
+    idom: dict[int, BasicBlock] = {id(entry): entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            new_idom: BasicBlock | None = None
+            for pred in preds[block]:
+                if id(pred) not in idom or id(pred) not in index:
+                    continue
+                if new_idom is None:
+                    new_idom = pred
+                else:
+                    new_idom = intersect(new_idom, pred)
+            if new_idom is not None and idom.get(id(block)) is not new_idom:
+                idom[id(block)] = new_idom
+                changed = True
+
+    result: dict[BasicBlock, BasicBlock | None] = {entry: None}
+    for block in rpo:
+        if block is entry:
+            continue
+        if id(block) in idom:
+            result[block] = idom[id(block)]
+    return result
+
+
+def dominates(a: BasicBlock, b: BasicBlock,
+              idom: dict[BasicBlock, BasicBlock | None]) -> bool:
+    """Whether block ``a`` dominates block ``b`` under the idom map."""
+    runner: BasicBlock | None = b
+    while runner is not None:
+        if runner is a:
+            return True
+        runner = idom.get(runner)
+    return False
+
+
+def dominance_frontiers(
+        func: Function,
+        idom: dict[BasicBlock, BasicBlock | None] | None = None,
+) -> dict[BasicBlock, set[BasicBlock]]:
+    """Dominance frontier of each reachable block (Cytron's definition)."""
+    if idom is None:
+        idom = dominators(func)
+    preds = predecessor_map(func)
+    frontiers: dict[BasicBlock, set[BasicBlock]] = {
+        block: set() for block in idom}
+    for block in idom:
+        block_preds = [p for p in preds[block] if p in frontiers]
+        if len(block_preds) < 2:
+            continue
+        for pred in block_preds:
+            runner: BasicBlock | None = pred
+            while runner is not None and runner is not idom[block]:
+                frontiers[runner].add(block)
+                runner = idom.get(runner)
+    return frontiers
+
+
+def instruction_dominates(a, b, idom=None) -> bool:
+    """Whether instruction ``a`` dominates instruction ``b``.
+
+    Both must be placed in the same function.  For same-block pairs this is
+    program order; otherwise it reduces to block dominance.
+    """
+    if a.parent is None or b.parent is None:
+        raise ValueError("both instructions must be placed in blocks")
+    if a.parent is b.parent:
+        block = a.parent
+        for inst in block:
+            if inst is a:
+                return True
+            if inst is b:
+                return False
+        raise ValueError("instructions not found in their parent block")
+    if idom is None:
+        idom = dominators(a.parent.parent)
+    return dominates(a.parent, b.parent, idom)

@@ -1,0 +1,70 @@
+"""Data-dependence utilities over the SSA use-def graph.
+
+SSA already encodes register dataflow directly in operand references; this
+module provides the walking helpers used by the prefetch pass's depth-first
+search and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..ir.instructions import Instruction, Load, Phi
+from ..ir.values import Value
+
+
+def operands_of(value: Value) -> list[Value]:
+    """The SSA operands of ``value`` (empty for non-instructions)."""
+    if isinstance(value, Instruction):
+        return value.operands
+    return []
+
+
+def transitive_inputs(root: Value,
+                      stop: Callable[[Value], bool] | None = None
+                      ) -> list[Instruction]:
+    """All instructions in the transitive input closure of ``root``.
+
+    :param stop: optional predicate; when it returns true for a value the
+        walk does not continue through that value's operands (the value
+        itself is still included if it is an instruction).
+    """
+    result: list[Instruction] = []
+    seen: set[int] = set()
+    stack = list(operands_of(root))
+    if isinstance(root, Instruction):
+        pass  # root itself is not part of its own inputs
+    while stack:
+        value = stack.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        if isinstance(value, Instruction):
+            result.append(value)
+            if stop is None or not stop(value):
+                stack.extend(value.operands)
+    return result
+
+
+def loads_in_closure(root: Value) -> list[Load]:
+    """The load instructions within the transitive input closure."""
+    return [v for v in transitive_inputs(root) if isinstance(v, Load)]
+
+
+def depends_on(value: Value, target: Value) -> bool:
+    """Whether ``value`` transitively depends on ``target`` through SSA."""
+    if value is target:
+        return True
+    return any(v is target for v in transitive_inputs(value))
+
+
+def iter_loads(func) -> Iterator[Load]:
+    """Yield every load instruction of a function in program order."""
+    for inst in func.instructions():
+        if isinstance(inst, Load):
+            yield inst
+
+
+def phis_in_closure(root: Value) -> list[Phi]:
+    """The phi nodes within the transitive input closure of ``root``."""
+    return [v for v in transitive_inputs(root) if isinstance(v, Phi)]

@@ -1,0 +1,182 @@
+"""Natural loop detection and the loop nesting forest.
+
+Loops are discovered from back edges (``latch -> header`` where the header
+dominates the latch); loops sharing a header are merged.  The nesting
+forest orders loops by block containment, giving each loop a depth used by
+the prefetch pass to pick the *innermost* induction variable when a load's
+address depends on several.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .cfg import dominates, dominators, predecessor_map
+
+
+class Loop:
+    """A natural loop: a header plus the blocks of its body.
+
+    :ivar header: the loop header block (the target of the back edges).
+    :ivar blocks: all blocks in the loop, including the header.
+    :ivar latches: blocks with a back edge to the header.
+    :ivar parent: the enclosing loop, or ``None`` for top-level loops.
+    :ivar children: loops nested immediately inside this one.
+    """
+
+    def __init__(self, header: BasicBlock, blocks: set[BasicBlock]):
+        self.header = header
+        self.blocks = blocks
+        self.latches: list[BasicBlock] = []
+        self.parent: "Loop | None" = None
+        self.children: list["Loop"] = []
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; top-level loops have depth 1."""
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains_block(self, block: BasicBlock) -> bool:
+        """Whether ``block`` belongs to this loop (or a nested one)."""
+        return block in self.blocks
+
+    def contains(self, inst: Instruction) -> bool:
+        """Whether ``inst`` is placed inside this loop."""
+        return inst.parent is not None and inst.parent in self.blocks
+
+    @property
+    def preheader(self) -> BasicBlock | None:
+        """The unique out-of-loop predecessor of the header, if it exists."""
+        outside = [p for p in self.header.predecessors
+                   if p not in self.blocks]
+        if len(outside) == 1:
+            return outside[0]
+        return None
+
+    @property
+    def exiting_blocks(self) -> list[BasicBlock]:
+        """Blocks inside the loop with a successor outside it."""
+        result = []
+        for block in self.blocks:
+            if any(succ not in self.blocks for succ in block.successors):
+                result.append(block)
+        return result
+
+    @property
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks outside the loop that are targets of loop exits."""
+        result = []
+        seen: set[int] = set()
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ not in self.blocks and id(succ) not in seen:
+                    seen.add(id(succ))
+                    result.append(succ)
+        return result
+
+    @property
+    def single_exit_condition(self) -> Instruction | None:
+        """If the loop has exactly one exiting block whose terminator is a
+        conditional branch, return that branch; else ``None``.
+
+        The fault-avoidance analysis (§4.2) requires a *single* loop
+        termination condition before it will use the loop bound as a
+        substitute for unknown array sizes.
+        """
+        exiting = self.exiting_blocks
+        if len(exiting) != 1:
+            return None
+        term = exiting[0].terminator
+        if term is not None and term.opcode == "br":
+            return term
+        return None
+
+    def __repr__(self) -> str:
+        return (f"<Loop header={self.header.name} depth={self.depth} "
+                f"blocks={sorted(b.name for b in self.blocks)}>")
+
+
+class LoopInfo:
+    """All loops of a function, arranged in a nesting forest.
+
+    :ivar top_level: loops not contained in any other loop.
+    """
+
+    def __init__(self, func: Function):
+        self.function = func
+        self._idom = dominators(func)
+        self._loops = _find_loops(func, self._idom)
+        _build_forest(self._loops)
+        self.top_level = [l for l in self._loops if l.parent is None]
+        # Innermost loop per block.
+        self._block_loop: dict[BasicBlock, Loop] = {}
+        for loop in sorted(self._loops, key=lambda l: l.depth):
+            for block in loop.blocks:
+                self._block_loop[block] = loop
+
+    @property
+    def loops(self) -> list[Loop]:
+        """All loops, outermost first."""
+        return sorted(self._loops, key=lambda l: l.depth)
+
+    def loop_of_block(self, block: BasicBlock) -> Loop | None:
+        """The innermost loop containing ``block``, if any."""
+        return self._block_loop.get(block)
+
+    def loop_of(self, inst: Instruction) -> Loop | None:
+        """The innermost loop containing ``inst``, if any."""
+        if inst.parent is None:
+            return None
+        return self.loop_of_block(inst.parent)
+
+    def in_any_loop(self, inst: Instruction) -> bool:
+        """Whether ``inst`` sits inside at least one loop."""
+        return self.loop_of(inst) is not None
+
+
+def _find_loops(func: Function,
+                idom: dict[BasicBlock, BasicBlock | None]) -> list[Loop]:
+    preds = predecessor_map(func)
+    loops_by_header: dict[int, Loop] = {}
+    header_of: dict[int, BasicBlock] = {}
+
+    for block in func.blocks:
+        if block not in idom:
+            continue  # unreachable
+        for succ in block.successors:
+            if succ in idom and dominates(succ, block, idom):
+                header = succ
+                loop = loops_by_header.get(id(header))
+                if loop is None:
+                    loop = Loop(header, {header})
+                    loops_by_header[id(header)] = loop
+                    header_of[id(header)] = header
+                loop.latches.append(block)
+                # Blocks reaching the latch without passing the header.
+                stack = [block]
+                while stack:
+                    current = stack.pop()
+                    if current in loop.blocks:
+                        continue
+                    loop.blocks.add(current)
+                    for pred in preds[current]:
+                        if pred in idom:
+                            stack.append(pred)
+    return list(loops_by_header.values())
+
+
+def _build_forest(loops: list[Loop]) -> None:
+    # Sort by size so the smallest enclosing loop is found first.
+    by_size = sorted(loops, key=lambda l: len(l.blocks))
+    for i, inner in enumerate(by_size):
+        for outer in by_size[i + 1:]:
+            if outer is not inner and inner.header in outer.blocks:
+                inner.parent = outer
+                outer.children.append(inner)
+                break

@@ -1,0 +1,63 @@
+"""Side-effect (purity) analysis over the call graph.
+
+The paper's pass rejects prefetch candidates whose address computation
+contains function calls, noting that "side-effect-free function calls
+could be permitted" as an extension.  This analysis implements that
+extension: a function is pure when it contains no stores, no allocations,
+and only calls to other pure functions.  Functions explicitly created with
+``pure=True`` are trusted.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Alloc, Call, Prefetch, Store
+from ..ir.module import Module
+
+
+class SideEffectAnalysis:
+    """Computes purity for every function in a module via a fixed point."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._pure: dict[str, bool] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        # Optimistic fixed point: assume pure, then strike out functions
+        # with direct effects or calls to impure functions until stable.
+        for func in self.module.functions:
+            self._pure[func.name] = True
+        for func in self.module.functions:
+            if func.pure:
+                continue  # trusted annotation
+            if self._has_direct_effects(func):
+                self._pure[func.name] = False
+        changed = True
+        while changed:
+            changed = False
+            for func in self.module.functions:
+                if not self._pure[func.name] or func.pure:
+                    continue
+                for inst in func.instructions():
+                    if isinstance(inst, Call) and \
+                            not self._pure.get(inst.callee.name, False):
+                        self._pure[func.name] = False
+                        changed = True
+                        break
+
+    @staticmethod
+    def _has_direct_effects(func: Function) -> bool:
+        for inst in func.instructions():
+            if isinstance(inst, (Store, Alloc, Prefetch)):
+                return True
+        return False
+
+    def is_pure(self, func: Function) -> bool:
+        """Whether ``func`` is side-effect free."""
+        return self._pure.get(func.name, func.pure)
+
+    def call_is_safe_to_duplicate(self, call: Call) -> bool:
+        """Whether duplicating ``call`` for prefetch address generation
+        cannot introduce side effects."""
+        return self.is_pure(call.callee)

@@ -1,0 +1,108 @@
+"""Experiment runner: workload × variant × machine → cycles and stats.
+
+Every figure's harness funnels through :func:`run_variant` /
+:func:`speedup_table`, so results are produced identically everywhere:
+fresh memory, fresh module, functional validation of the architectural
+results, and cycle counts from the timed interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.configs import MachineConfig
+from ..machine.interpreter import Interpreter
+from ..machine.memory import Memory
+from ..passes.prefetch import PrefetchOptions
+from ..workloads.base import Workload
+
+
+@dataclass
+class VariantResult:
+    """Measured outcome of one (workload, variant, machine) run."""
+
+    workload: str
+    variant: str
+    machine: str
+    cycles: float
+    instructions: int
+    loads: int
+    prefetches: int
+    iterations: int
+    l1_hit_rate: float = 0.0
+    dram_accesses: int = 0
+    tlb_walks: int = 0
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        """Cycles per loop iteration (workload-defined iteration)."""
+        return self.cycles / self.iterations if self.iterations else 0.0
+
+
+def run_variant(workload: Workload, variant: str, machine: MachineConfig,
+                lookahead: int = 64,
+                options: PrefetchOptions | None = None,
+                validate: bool = True, **manual_knobs) -> VariantResult:
+    """Build, execute, and validate one variant on one machine."""
+    module = workload.build_variant(variant, lookahead=lookahead,
+                                    options=options, **manual_knobs)
+    memory = Memory(machine.line_size)
+    prepared = workload.prepare(memory)
+    interp = Interpreter(module, memory, machine=machine)
+    result = interp.run(workload.entry, prepared.args)
+    if validate:
+        prepared.validate()
+    ms = result.memory_system
+    return VariantResult(
+        workload=workload.name,
+        variant=variant,
+        machine=machine.name,
+        cycles=result.cycles,
+        instructions=result.stats.instructions,
+        loads=result.stats.loads,
+        prefetches=result.stats.prefetches,
+        iterations=prepared.iterations,
+        l1_hit_rate=ms.l1.stats.hit_rate if ms else 0.0,
+        dram_accesses=ms.dram.stats.accesses if ms else 0,
+        tlb_walks=ms.tlb.stats.misses if ms else 0)
+
+
+@dataclass
+class SpeedupRow:
+    """Speedups of the prefetched variants over plain, for one
+    (workload, machine) pair."""
+
+    workload: str
+    machine: str
+    baseline_cycles: float
+    speedups: dict[str, float] = field(default_factory=dict)
+    results: dict[str, VariantResult] = field(default_factory=dict)
+
+
+def speedup_row(workload: Workload, machine: MachineConfig,
+                variants: tuple[str, ...] = ("auto", "manual"),
+                lookahead: int = 64, **kwargs) -> SpeedupRow:
+    """Run plain + the requested variants; returns speedups over plain."""
+    plain = run_variant(workload, "plain", machine, lookahead, **kwargs)
+    row = SpeedupRow(workload=workload.name, machine=machine.name,
+                     baseline_cycles=plain.cycles)
+    row.results["plain"] = plain
+    for variant in variants:
+        result = run_variant(workload, variant, machine, lookahead,
+                             **kwargs)
+        row.results[variant] = result
+        row.speedups[variant] = (plain.cycles / result.cycles
+                                 if result.cycles else 0.0)
+    return row
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, as the paper uses for its summary speedups."""
+    if not values:
+        raise ValueError("geometric mean of no values")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= v
+    return product ** (1.0 / len(values))

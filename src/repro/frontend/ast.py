@@ -1,0 +1,175 @@
+"""Abstract syntax tree for the C-like frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TypeName:
+    """A source-level type: ``long``, ``double``, ``void`` plus pointers.
+
+    :ivar base: ``"long"``, ``"double"`` or ``"void"``.
+    :ivar pointers: pointer depth (``long*`` has depth 1).
+    """
+
+    base: str
+    pointers: int = 0
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointers
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — loads through a pointer."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str
+    args: list[Expr]
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Declaration(Stmt):
+    type: TypeName
+    name: str
+    init: Expr | None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value`` where target is a variable or an index."""
+
+    target: Expr
+    op: str  # "=", "+=", ...
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class PrefetchStmt(Stmt):
+    """``prefetch(&array[index])``-style hint; operand is an Index."""
+
+    target: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: list[Stmt]
+    otherwise: list[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: list[Stmt]
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+# -- top level ------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: TypeName
+    name: str
+    #: C99 ``restrict``: the pointer does not alias other parameters.
+    restrict: bool = False
+
+
+@dataclass
+class FunctionDef:
+    """One function definition."""
+
+    name: str
+    return_type: TypeName
+    params: list[Param]
+    body: list[Stmt]
+    pure: bool = False
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A whole translation unit."""
+
+    functions: list[FunctionDef]

@@ -1,0 +1,113 @@
+"""Lexer for the C-like frontend language.
+
+The language is a small C subset: ``long``/``double``/pointer types,
+functions, ``if``/``while``/``for``, array indexing, and a ``prefetch``
+builtin — enough to write every kernel in this repository at source
+level (see ``examples/clike_frontend.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "long", "double", "void", "if", "else", "while", "for", "return",
+    "prefetch", "pure", "restrict",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    :ivar kind: ``ident``, ``number``, ``float``, ``keyword``, ``op`` or
+        ``eof``.
+    :ivar text: the exact source text.
+    :ivar line: 1-based source line (for error messages).
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexError(Exception):
+    """Raised on characters the language does not know."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens (comments ``//`` and ``/* */``)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("number", source[i:j], line))
+                i = j
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and \
+                    source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                tokens.append(Token("float", source[i:j], line))
+            else:
+                tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

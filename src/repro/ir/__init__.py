@@ -1,0 +1,36 @@
+"""The repro intermediate representation (IR).
+
+A small SSA-form IR modelled on LLVM: modules contain functions, functions
+contain basic blocks, blocks contain instructions.  See
+:mod:`repro.ir.builder` for the construction API and
+:mod:`repro.ir.printer` / :mod:`repro.ir.parser` for the textual format.
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (Alloc, BinOp, Branch, Call, Cast, Cmp, GEP,
+                           Instruction, Jump, Load, Phi, Prefetch, Ret,
+                           Select, Store, clone_instruction)
+from .module import Module
+from .parser import ParseError, parse_function, parse_module
+from .printer import print_function, print_instruction, print_module
+from .types import (FLOAT32, FLOAT64, INT1, INT8, INT16, INT32, INT64, VOID,
+                    FloatType, FunctionType, IntType, PointerType, Type,
+                    VoidType, parse_type, pointer)
+from .values import Argument, Constant, UndefValue, Value, const
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "IRBuilder", "Function", "Module",
+    "Alloc", "BinOp", "Branch", "Call", "Cast", "Cmp", "GEP", "Instruction",
+    "Jump", "Load", "Phi", "Prefetch", "Ret", "Select", "Store",
+    "clone_instruction",
+    "ParseError", "parse_function", "parse_module",
+    "print_function", "print_instruction", "print_module",
+    "FLOAT32", "FLOAT64", "INT1", "INT8", "INT16", "INT32", "INT64", "VOID",
+    "FloatType", "FunctionType", "IntType", "PointerType", "Type",
+    "VoidType", "parse_type", "pointer",
+    "Argument", "Constant", "UndefValue", "Value", "const",
+    "VerificationError", "verify_function", "verify_module",
+]

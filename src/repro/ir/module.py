@@ -1,0 +1,53 @@
+"""Modules: top-level containers of functions."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .function import Function
+from .types import Type
+
+
+class Module:
+    """A compilation unit holding a set of functions.
+
+    Passes operate on modules (or on the functions within them); the
+    interpreter executes a module starting from a chosen entry function.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self._functions: dict[str, Function] = {}
+
+    @property
+    def functions(self) -> list[Function]:
+        """All functions in insertion order."""
+        return list(self._functions.values())
+
+    def add_function(self, func: Function) -> Function:
+        """Register ``func`` in this module."""
+        if func.name in self._functions:
+            raise ValueError(f"duplicate function name {func.name!r}")
+        self._functions[func.name] = func
+        func.parent = self
+        return func
+
+    def create_function(self, name: str, return_type: Type,
+                        params: list[tuple[str, Type]] | None = None,
+                        pure: bool = False) -> Function:
+        """Create, register, and return a new :class:`Function`."""
+        return self.add_function(Function(name, return_type, params,
+                                          pure=pure))
+
+    def function(self, name: str) -> Function:
+        """Find a function by name; raises ``KeyError`` if absent."""
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self._functions)} functions)>"

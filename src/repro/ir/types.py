@@ -1,0 +1,191 @@
+"""Type system for the repro intermediate representation.
+
+The IR is deliberately small: integer and floating-point scalars, typed
+pointers, and function types.  Aggregates are modelled as arrays of scalars
+(a "struct" is an array of words accessed at constant indices), which is all
+the paper's workloads need and keeps address arithmetic explicit -- exactly
+the property the prefetch pass relies on.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types.
+
+    Types are immutable and compared structurally.  Use the module-level
+    singletons (``INT8`` ... ``INT64``, ``FLOAT64``, ``VOID``) and the
+    :class:`PointerType` constructor for everything else.
+    """
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of a value of this type when stored in memory."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value (e.g. ``store``)."""
+
+    @property
+    def size(self) -> int:
+        raise ValueError("void has no size")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width two's-complement integer type.
+
+    :param bits: width in bits; must be one of 1, 8, 16, 32, 64.
+    """
+
+    WIDTHS = (1, 8, 16, 32, 64)
+
+    def __init__(self, bits: int):
+        if bits not in self.WIDTHS:
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable signed value."""
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable signed value."""
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` into this type's signed range (two's complement)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """An IEEE-754 floating point type (32 or 64 bits)."""
+
+    def __init__(self, bits: int = 64):
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(Type):
+    """A typed pointer.  Pointers are 64-bit byte addresses.
+
+    :param pointee: the element type this pointer addresses.  ``gep``
+        instructions scale indices by ``pointee.size``.
+    """
+
+    def __init__(self, pointee: Type):
+        if isinstance(pointee, VoidType):
+            raise ValueError("cannot point to void")
+        self.pointee = pointee
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def _key(self) -> tuple:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class FunctionType(Type):
+    """The type of a function: a return type plus parameter types."""
+
+    def __init__(self, return_type: Type, param_types: tuple[Type, ...]):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    @property
+    def size(self) -> int:
+        raise ValueError("function types have no storage size")
+
+    def _key(self) -> tuple:
+        return (self.return_type, self.param_types)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        return f"{self.return_type} ({params})"
+
+
+#: Singleton instances for the common types.
+VOID = VoidType()
+INT1 = IntType(1)
+INT8 = IntType(8)
+INT16 = IntType(16)
+INT32 = IntType(32)
+INT64 = IntType(64)
+FLOAT32 = FloatType(32)
+FLOAT64 = FloatType(64)
+
+
+def pointer(pointee: Type) -> PointerType:
+    """Convenience constructor for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual form (``i32``, ``f64``, ``i64*`` ...).
+
+    Raises ``ValueError`` for malformed type strings.
+    """
+    text = text.strip()
+    stars = 0
+    while text.endswith("*"):
+        stars += 1
+        text = text[:-1].strip()
+    if text == "void":
+        if stars:
+            raise ValueError("cannot point to void")
+        base: Type = VOID
+    elif text.startswith("i"):
+        base = IntType(int(text[1:]))
+    elif text.startswith("f"):
+        base = FloatType(int(text[1:]))
+    else:
+        raise ValueError(f"unknown type: {text!r}")
+    for _ in range(stars):
+        base = PointerType(base)
+    return base

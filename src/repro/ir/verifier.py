@@ -1,0 +1,165 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Run :func:`verify_function` (or :func:`verify_module`) after construction
+and after every transformation pass; the test suite does so for every
+workload and every pass output.
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import Instruction, Phi
+from .module import Module
+from .types import VoidType
+from .values import Argument, Constant, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural or SSA invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``; raises on the first failure."""
+    for func in module.functions:
+        verify_function(func)
+
+
+def verify_function(func: Function) -> None:
+    """Check structural, CFG, and SSA dominance invariants of ``func``.
+
+    Raises :class:`VerificationError` describing the first violation found.
+    """
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: function has no blocks")
+    _check_blocks(func)
+    _check_phis(func)
+    _check_dominance(func)
+
+
+def _check_blocks(func: Function) -> None:
+    names = set()
+    for block in func.blocks:
+        if block.name in names:
+            raise VerificationError(
+                f"{func.name}: duplicate block name {block.name}")
+        names.add(block.name)
+        if block.parent is not func:
+            raise VerificationError(
+                f"{func.name}/{block.name}: wrong parent function")
+        term = block.terminator
+        if term is None:
+            raise VerificationError(
+                f"{func.name}/{block.name}: block lacks a terminator")
+        for inst in block:
+            if inst.parent is not block:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: instruction "
+                    f"{inst.opcode} has wrong parent")
+            if inst.IS_TERMINATOR and inst is not term:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: terminator "
+                    f"{inst.opcode} in mid-block")
+        seen_non_phi = False
+        for inst in block:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{func.name}/{block.name}: phi after non-phi")
+            else:
+                seen_non_phi = True
+        for succ in block.successors:
+            if succ not in func.blocks:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: successor {succ.name} "
+                    f"not in function")
+
+
+def _check_phis(func: Function) -> None:
+    for block in func.blocks:
+        preds = block.predecessors
+        for phi in block.phis:
+            incoming_blocks = [b for _, b in phi.incoming]
+            if set(map(id, incoming_blocks)) != set(map(id, preds)):
+                pred_names = sorted(p.name for p in preds)
+                in_names = sorted(b.name for b in incoming_blocks)
+                raise VerificationError(
+                    f"{func.name}/{block.name}: phi {phi.short_name()} "
+                    f"incoming blocks {in_names} != predecessors "
+                    f"{pred_names}")
+            if len(incoming_blocks) != len(set(map(id, incoming_blocks))):
+                raise VerificationError(
+                    f"{func.name}/{block.name}: phi {phi.short_name()} "
+                    f"has duplicate incoming blocks")
+
+
+def _reachable_blocks(func: Function) -> list[BasicBlock]:
+    seen: list[BasicBlock] = []
+    seen_ids = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen_ids:
+            continue
+        seen_ids.add(id(block))
+        seen.append(block)
+        stack.extend(block.successors)
+    return seen
+
+
+def _check_dominance(func: Function) -> None:
+    # Local import to avoid a hard dependency cycle at module load time.
+    from ..analysis.cfg import dominators
+
+    dom = dominators(func)
+    positions: dict[int, tuple[BasicBlock, int]] = {}
+    for block in func.blocks:
+        for i, inst in enumerate(block):
+            positions[id(inst)] = (block, i)
+
+    reachable = set(map(id, _reachable_blocks(func)))
+    for block in func.blocks:
+        if id(block) not in reachable:
+            continue
+        for i, inst in enumerate(block):
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming:
+                    _check_operand_dominates(
+                        func, dom, positions, value, pred,
+                        len(pred.instructions), inst)
+            else:
+                for value in inst.operands:
+                    _check_operand_dominates(
+                        func, dom, positions, value, block, i, inst)
+
+
+def _check_operand_dominates(func, dom, positions, value: Value,
+                             use_block: BasicBlock, use_index: int,
+                             user: Instruction) -> None:
+    if isinstance(value, (Constant, Argument, UndefValue)):
+        return
+    if not isinstance(value, Instruction):
+        raise VerificationError(
+            f"{func.name}: operand {value!r} of {user.opcode} is not an "
+            f"instruction, constant, or argument")
+    pos = positions.get(id(value))
+    if pos is None:
+        raise VerificationError(
+            f"{func.name}: operand {value.short_name()} of "
+            f"{user.opcode} is not placed in the function")
+    def_block, def_index = pos
+    if def_block is use_block:
+        if def_index >= use_index:
+            raise VerificationError(
+                f"{func.name}/{use_block.name}: {value.short_name()} "
+                f"used before definition by {user.opcode}")
+        return
+    # def_block must dominate use_block.
+    runner: BasicBlock | None = use_block
+    while runner is not None:
+        if runner is def_block:
+            return
+        runner = dom.get(runner)
+    raise VerificationError(
+        f"{func.name}: definition of {value.short_name()} in "
+        f"{def_block.name} does not dominate use in {use_block.name}")

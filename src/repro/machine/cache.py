@@ -1,0 +1,117 @@
+"""Set-associative cache model with fill-time tracking.
+
+Each cached line remembers when its fill completes, so a demand access to
+a line that is *in flight* (e.g. just software-prefetched) waits only for
+the remaining fill latency — the mechanism behind the paper's "offset too
+small" behaviour, where a late prefetch hides only part of the miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate in [0, 1]."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative, LRU, write-allocate cache.
+
+    :param size_bytes: total capacity.
+    :param ways: associativity.
+    :param line_size: line size in bytes (64 throughout the paper).
+    :param latency: access latency in cycles when the line is resident.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int,
+                 line_size: int = 64, latency: int = 4):
+        lines = size_bytes // line_size
+        if lines % ways:
+            raise ValueError("capacity must divide evenly into ways")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.latency = latency
+        self.num_sets = lines // ways
+        # Per set: {tag: [fill_time, dirty]}; dict preserves insertion
+        # order and we re-insert on touch, giving LRU.
+        self._sets: list[dict[int, list]] = [
+            {} for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_and_tag(self, line_addr: int) -> tuple[dict, int]:
+        return self._sets[line_addr % self.num_sets], line_addr
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> float | None:
+        """Return the line's fill time if resident (marking it MRU)."""
+        lines, tag = self._set_and_tag(line_addr)
+        entry = lines.get(tag)
+        if entry is None:
+            return None
+        if touch:
+            del lines[tag]
+            lines[tag] = entry
+        return entry[0]
+
+    def insert(self, line_addr: int, fill_time: float,
+               dirty: bool = False) -> bool:
+        """Install a line (evicting LRU if the set is full).
+
+        :returns: True when a *dirty* line was evicted (the caller
+            charges the writeback at the memory-side level).
+        """
+        lines, tag = self._set_and_tag(line_addr)
+        dirty_evicted = False
+        if tag in lines:
+            dirty = dirty or lines[tag][1]
+            del lines[tag]
+        elif len(lines) >= self.ways:
+            oldest = next(iter(lines))
+            dirty_evicted = lines[oldest][1]
+            del lines[oldest]
+            self.stats.evictions += 1
+            if dirty_evicted:
+                self.stats.dirty_evictions += 1
+        lines[tag] = [fill_time, dirty]
+        return dirty_evicted
+
+    def mark_dirty(self, line_addr: int) -> None:
+        """Flag a resident line as modified (no-op when absent)."""
+        lines, tag = self._set_and_tag(line_addr)
+        entry = lines.get(tag)
+        if entry is not None:
+            entry[1] = True
+
+    def contains(self, line_addr: int) -> bool:
+        """Residence test without LRU side effects."""
+        lines, tag = self._set_and_tag(line_addr)
+        return tag in lines
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used between benchmark repetitions)."""
+        for s in self._sets:
+            s.clear()
+
+    def __repr__(self) -> str:
+        return (f"<Cache {self.name} {self.size_bytes // 1024}KiB "
+                f"{self.ways}-way {self.latency}cy>")

@@ -1,0 +1,209 @@
+"""The memory system: cache hierarchy + TLB + DRAM + hardware prefetcher.
+
+:class:`MemorySystem` services every memory operation of a core and
+returns data-ready times; it owns the state that software prefetching
+manipulates.  Several memory systems may share one
+:class:`~repro.machine.dram.DRAMChannel` to model multicore bandwidth
+contention (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .cache import Cache
+from .configs import MachineConfig
+from .dram import DRAMChannel
+from .hwprefetch import StridePrefetcher
+from .tlb import TLB
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate counters across the hierarchy."""
+
+    demand_accesses: int = 0
+    demand_misses_to_dram: int = 0
+    sw_prefetches: int = 0
+    sw_prefetch_dram_fills: int = 0
+    hw_prefetch_fills: int = 0
+
+
+class _MSHRFile:
+    """Bounded set of outstanding line fills (miss-status registers)."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._completions: list[float] = []
+
+    def acquire(self, time: float) -> float:
+        """Reserve an MSHR at ``time``; returns when one is available."""
+        heap = self._completions
+        while heap and heap[0] <= time:
+            heapq.heappop(heap)
+        if len(heap) >= self.entries:
+            return heapq.heappop(heap)
+        return time
+
+    def occupy(self, completion: float) -> None:
+        """Mark an MSHR busy until ``completion``."""
+        heapq.heappush(self._completions, completion)
+
+
+class MemorySystem:
+    """One core's view of the memory hierarchy.
+
+    :param config: machine description.
+    :param dram: optionally a shared channel (multicore); a private one is
+        created otherwise.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 dram: DRAMChannel | None = None):
+        self.config = config
+        self.line_size = config.line_size
+        self.caches = [
+            Cache(f"L{i + 1}", c.size_bytes, c.ways, config.line_size,
+                  c.latency)
+            for i, c in enumerate(config.caches)]
+        self.tlb = TLB(config.tlb_entries, config.page_bits,
+                       config.tlb_walk_latency, config.tlb_max_walks,
+                       l2_entries=config.tlb_l2_entries,
+                       l2_latency=config.tlb_l2_latency)
+        self.dram = dram if dram is not None else DRAMChannel(
+            config.dram_latency, config.dram_cycles_per_line,
+            config.dram_contention_penalty)
+        self.prefetcher = StridePrefetcher(
+            distance=config.hw_prefetch_distance,
+            degree=config.hw_prefetch_degree)
+        self.mshrs = _MSHRFile(config.mshrs)
+        self.stats = MemoryStats()
+
+    # -- public access points ---------------------------------------------
+
+    def load(self, pc: int, addr: int, time: float) -> float:
+        """Demand load; returns data-ready time."""
+        return self._demand(pc, addr, time, is_write=False)
+
+    def store(self, pc: int, addr: int, time: float) -> float:
+        """Store (write-allocate); returns line-owned time.  Cores treat
+        stores as fire-and-forget through a store buffer; dirty lines
+        cost a DRAM writeback when they eventually leave the hierarchy."""
+        return self._demand(pc, addr, time, is_write=True)
+
+    def prefetch(self, pc: int, addr: int, time: float) -> float:
+        """Software prefetch; returns the *issue-accept* time (the core
+        never waits for the data).  Fills L1 (prefetcht0 semantics).
+
+        Prefetch-triggered TLB walks happen off the critical path (they
+        occupy a walker but do not delay the core); the only backpressure
+        is a full MSHR file, which stalls issue until a fill retires —
+        this is what throttles software-prefetch memory parallelism.
+        """
+        self.stats.sw_prefetches += 1
+        line = addr // self.line_size
+        t = self.tlb.translate(addr, time)  # prefetches do fill the TLB
+        for level, cache in enumerate(self.caches):
+            fill = cache.lookup(line)
+            if fill is not None:
+                # Promote into the levels above.
+                ready = max(t, fill) + cache.latency
+                for upper in self.caches[:level]:
+                    upper.insert(line, ready)
+                    upper.stats.prefetch_fills += 1
+                return time
+        # Miss everywhere: bring the line from DRAM.
+        start = self.mshrs.acquire(t)
+        done = self.dram.access(start)
+        self.mshrs.occupy(done)
+        self.stats.sw_prefetch_dram_fills += 1
+        self._fill_all(line, done, request_time=start)
+        self.caches[0].stats.prefetch_fills += 1
+        # The core resumes once the request is accepted (MSHR acquired);
+        # translation latency itself is off the critical path.
+        return max(time, start - (t - time))
+
+    # -- internals ----------------------------------------------------------
+
+    def _demand(self, pc: int, addr: int, time: float,
+                is_write: bool = False) -> float:
+        self.stats.demand_accesses += 1
+        line = addr // self.line_size
+        t = self.tlb.translate(addr, time)
+        ready = self._hierarchy_access(line, t, is_write)
+        self._train_hw_prefetcher(pc, line, t)
+        return ready
+
+    def _hierarchy_access(self, line: int, t: float,
+                          is_write: bool = False) -> float:
+        llc = self.caches[-1]
+        for level, cache in enumerate(self.caches):
+            fill = cache.lookup(line)
+            if fill is not None:
+                if fill <= t:
+                    cache.stats.hits += 1
+                else:
+                    # In-flight fill (e.g. a software prefetch that was
+                    # issued too late): wait out the remainder.
+                    cache.stats.prefetch_hits += 1
+                ready = max(t, fill) + cache.latency
+                for upper in self.caches[:level]:
+                    if upper.insert(line, ready) and upper is llc:
+                        self.dram.writeback(t)
+                if is_write:
+                    for c in self.caches:
+                        c.mark_dirty(line)
+                return ready
+            cache.stats.misses += 1
+        start = self.mshrs.acquire(t)
+        done = self.dram.access(start)
+        self.mshrs.occupy(done)
+        self.stats.demand_misses_to_dram += 1
+        self._fill_all(line, done, dirty=is_write, request_time=start)
+        return done
+
+    def _fill_all(self, line: int, fill_time: float,
+                  dirty: bool = False,
+                  request_time: float | None = None) -> None:
+        """Install a line at every level, charging LLC dirty evictions.
+
+        Writebacks are charged at the *request* time: scheduling them at
+        the future fill time would block later fills for a whole memory
+        latency rather than one line's worth of bandwidth.
+        """
+        llc = self.caches[-1]
+        wb_time = fill_time if request_time is None else request_time
+        for cache in self.caches:
+            if cache.insert(line, fill_time, dirty) and cache is llc:
+                self.dram.writeback(wb_time)
+
+    def _train_hw_prefetcher(self, pc: int, line: int, t: float) -> None:
+        fills = self.prefetcher.observe(pc, line)
+        if not fills:
+            return
+        # Hardware prefetches fill into the L2 (not L1) and consume DRAM
+        # bandwidth, but bypass the core's MSHRs (dedicated queue).
+        llc = self.caches[-1]
+        for fill_line in fills:
+            if any(c.contains(fill_line) for c in self.caches):
+                continue
+            done = self.dram.access(t)
+            for cache in self.caches[1:] or self.caches:
+                if cache.insert(fill_line, done) and cache is llc:
+                    self.dram.writeback(t)
+            self.stats.hw_prefetch_fills += 1
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Reset all cached state (between benchmark variants)."""
+        for cache in self.caches:
+            cache.invalidate_all()
+        self.tlb.flush()
+        self.prefetcher.reset()
+
+    @property
+    def l1(self) -> Cache:
+        """The first-level cache."""
+        return self.caches[0]

@@ -1,0 +1,60 @@
+"""Shared per-function analysis bundle used by transformation passes."""
+
+from __future__ import annotations
+
+from ..analysis.cfg import dominators
+from ..analysis.induction import InductionAnalysis
+from ..analysis.loops import LoopInfo
+from ..analysis.sideeffects import SideEffectAnalysis
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+class FunctionAnalyses:
+    """Lazily computed analyses for one function.
+
+    Passes construct this once per function and share it between their
+    stages; it is invalidated (simply rebuilt) after mutation.
+    """
+
+    def __init__(self, func: Function,
+                 side_effects: SideEffectAnalysis | None = None):
+        self.function = func
+        self._loop_info: LoopInfo | None = None
+        self._induction: InductionAnalysis | None = None
+        self._dominators: dict[BasicBlock, BasicBlock | None] | None = None
+        self._side_effects = side_effects
+
+    @property
+    def loop_info(self) -> LoopInfo:
+        """Natural loops of the function."""
+        if self._loop_info is None:
+            self._loop_info = LoopInfo(self.function)
+        return self._loop_info
+
+    @property
+    def induction(self) -> InductionAnalysis:
+        """Induction variables of the function."""
+        if self._induction is None:
+            self._induction = InductionAnalysis(self.function,
+                                                self.loop_info)
+        return self._induction
+
+    @property
+    def dominators(self) -> dict[BasicBlock, BasicBlock | None]:
+        """Immediate-dominator map."""
+        if self._dominators is None:
+            self._dominators = dominators(self.function)
+        return self._dominators
+
+    @property
+    def side_effects(self) -> SideEffectAnalysis:
+        """Module-level purity analysis (requires the function to be in a
+        module)."""
+        if self._side_effects is None:
+            module = self.function.parent
+            if module is None:
+                raise ValueError(
+                    "side-effect analysis needs the function in a module")
+            self._side_effects = SideEffectAnalysis(module)
+        return self._side_effects

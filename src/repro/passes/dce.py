@@ -1,0 +1,49 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and which have no side
+effects.  Used as a cleanup after other transformations and by tests to
+check that prefetch code is not trivially dead.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.types import VoidType
+
+
+class DeadCodeEliminationPass:
+    """Iteratively deletes trivially dead instructions."""
+
+    name = "dce"
+
+    def run(self, module: Module) -> int:
+        """Run on every function; returns the number of deletions."""
+        return sum(self.run_on_function(f) for f in module.functions)
+
+    def run_on_function(self, func: Function) -> int:
+        """Run on one function; returns the number of deletions."""
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in func.blocks:
+                for inst in reversed(block.instructions):
+                    if self._is_dead(inst):
+                        inst.erase()
+                        removed += 1
+                        changed = True
+        return removed
+
+    @staticmethod
+    def _is_dead(inst: Instruction) -> bool:
+        if inst.HAS_SIDE_EFFECTS or inst.IS_TERMINATOR:
+            return False
+        if isinstance(inst.type, VoidType):
+            return False
+        # Allocations are conservatively kept: their addresses may have
+        # escaped into memory via stores that alias analysis missed.
+        if inst.opcode == "alloc":
+            return False
+        return not inst.uses

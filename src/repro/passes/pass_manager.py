@@ -1,0 +1,44 @@
+"""A minimal sequential pass manager.
+
+Runs a list of passes over a module, optionally verifying the IR between
+passes, and collects each pass's report keyed by pass name.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+
+
+class PassManager:
+    """Runs passes in order over a module.
+
+    :param verify_between: run the IR verifier after each pass (cheap for
+        the module sizes in this project, and catches pass bugs early).
+    """
+
+    def __init__(self, verify_between: bool = True):
+        self._passes: list = []
+        self.verify_between = verify_between
+
+    def add(self, pass_) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        if not hasattr(pass_, "run") or not hasattr(pass_, "name"):
+            raise TypeError(
+                f"{pass_!r} does not look like a pass (needs .run/.name)")
+        self._passes.append(pass_)
+        return self
+
+    @property
+    def passes(self) -> list:
+        """The registered passes in run order."""
+        return list(self._passes)
+
+    def run(self, module: Module) -> dict[str, object]:
+        """Run all passes; returns {pass name: report} in run order."""
+        reports: dict[str, object] = {}
+        for pass_ in self._passes:
+            reports[pass_.name] = pass_.run(module)
+            if self.verify_between:
+                verify_module(module)
+        return reports

@@ -1,0 +1,28 @@
+"""The automatic indirect-prefetch pass — the paper's core contribution.
+
+Public entry points:
+
+* :class:`IndirectPrefetchPass` / :class:`PrefetchOptions` — the pass;
+* :class:`PrefetchReport` — what it did and why;
+* :func:`~repro.passes.prefetch.scheduling.offset_for` — eq. (1).
+"""
+
+from .codegen import EmittedPrefetch, emit_prefetches
+from .dfs import ChainSearchResult, chain_loads, find_chain
+from .hoisting import HoistedPrefetch, hoist_inner_loop_prefetches
+from .legality import ClampBound, LegalityResult, RejectReason, check_chain
+from .pass_ import (AcceptedChain, FunctionReport, IndirectPrefetchPass,
+                    PrefetchOptions, PrefetchReport, RejectedLoad)
+from .scheduling import (DEFAULT_LOOKAHEAD, ScheduledPrefetch, offset_for,
+                         schedule_chain)
+
+__all__ = [
+    "EmittedPrefetch", "emit_prefetches",
+    "ChainSearchResult", "chain_loads", "find_chain",
+    "HoistedPrefetch", "hoist_inner_loop_prefetches",
+    "ClampBound", "LegalityResult", "RejectReason", "check_chain",
+    "AcceptedChain", "FunctionReport", "IndirectPrefetchPass",
+    "PrefetchOptions", "PrefetchReport", "RejectedLoad",
+    "DEFAULT_LOOKAHEAD", "ScheduledPrefetch", "offset_for",
+    "schedule_chain",
+]

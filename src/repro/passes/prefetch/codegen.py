@@ -1,0 +1,131 @@
+"""Prefetch code generation (§4.3, Algorithm 1 lines 42-54).
+
+For every scheduled prefetch of a chain this emits, immediately before the
+original target load:
+
+* ``%iv.off = add %iv, offset`` — the look-ahead induction value;
+* for indirect prefetches (position >= 1), the fault clamp
+  ``%iv.c = min(%iv.off, bound)`` as a ``cmp``+``select`` pair;
+* clones of the address-generation instructions with the induction
+  variable replaced by the clamped look-ahead value, where loads below
+  the covered position stay *real* loads;
+* a ``prefetch`` of the covered load's cloned address.
+
+Position-0 (stride) prefetches carry no clamp: a prefetch cannot fault,
+and no intermediate load executes (matching Fig. 3(c) lines 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...ir.builder import IRBuilder
+from ...ir.instructions import (Instruction, Load, Prefetch,
+                                clone_instruction)
+from ...ir.types import IntType
+from ...ir.values import Constant, Value
+from .dfs import ChainSearchResult, chain_loads
+from .legality import ClampBound
+from .scheduling import ScheduledPrefetch
+
+
+@dataclass
+class EmittedPrefetch:
+    """Code emitted for one scheduled prefetch."""
+
+    position: int
+    offset: int
+    prefetch: Prefetch
+    new_instructions: list[Instruction] = field(default_factory=list)
+
+
+def emit_prefetches(chain: ChainSearchResult, clamp: ClampBound,
+                    schedules: list[ScheduledPrefetch]
+                    ) -> list[EmittedPrefetch]:
+    """Generate and insert the prefetch code for one candidate chain."""
+    loads = chain_loads(chain)
+    target = loads[-1]
+    emitted = []
+    for schedule in schedules:
+        emitted.append(
+            _emit_one(chain, loads, target, clamp, schedule))
+    return emitted
+
+
+def _emit_one(chain: ChainSearchResult, loads: list[Load], target: Load,
+              clamp: ClampBound, schedule: ScheduledPrefetch
+              ) -> EmittedPrefetch:
+    iv = chain.iv
+    covered = loads[schedule.position]
+    builder = IRBuilder()
+    builder.set_insert_point(target.parent, before=target)
+    created: list[Instruction] = []
+
+    def track(inst: Instruction) -> Instruction:
+        created.append(inst)
+        return inst
+
+    iv_type = iv.phi.type
+    if not isinstance(iv_type, IntType):
+        raise TypeError("induction variable must be an integer")
+
+    # Look-ahead induction value.  The IV may step by more than one; the
+    # offset is expressed in iterations, so scale by the step magnitude.
+    step_scale = abs(iv.step)
+    advance = schedule.offset * step_scale
+    if iv.step < 0:
+        advance = -advance
+    iv_off = track(builder.add(iv.phi, builder.const(advance, iv_type),
+                               "pf.iv"))
+
+    lookahead: Value = iv_off
+    if schedule.position >= 1:
+        lookahead = _emit_clamp(builder, track, iv_off, clamp, iv_type,
+                                increasing=iv.step > 0)
+
+    # Clone the address-generation sub-chain feeding the covered load.
+    sub = _subchain(chain.instructions, covered)
+    value_map: dict[Value, Value] = {iv.phi: lookahead}
+    prefetch: Prefetch | None = None
+    for inst in sub:
+        if inst is covered:
+            ptr = value_map.get(inst.ptr, inst.ptr)  # type: ignore[attr-defined]
+            prefetch = track(builder.prefetch(ptr))  # type: ignore[assignment]
+        else:
+            clone = clone_instruction(inst, value_map)
+            track(builder._insert(clone))
+    assert prefetch is not None
+    return EmittedPrefetch(position=schedule.position,
+                           offset=schedule.offset,
+                           prefetch=prefetch,
+                           new_instructions=created)
+
+
+def _emit_clamp(builder: IRBuilder, track, iv_off: Value, clamp: ClampBound,
+                iv_type: IntType, *, increasing: bool) -> Value:
+    """Emit ``min(iv_off, bound)`` (or ``max`` for decreasing IVs)."""
+    bound: Value = clamp.value
+    adjust = 0 if clamp.inclusive else (-1 if increasing else 1)
+    if adjust:
+        if isinstance(bound, Constant):
+            bound = builder.const(bound.value + adjust, iv_type)
+        else:
+            bound = track(builder.add(
+                bound, builder.const(adjust, iv_type), "pf.bound"))
+    predicate = "slt" if increasing else "sgt"
+    cmp = track(builder.cmp(predicate, iv_off, bound, "pf.cl"))
+    return track(builder.select(cmp, iv_off, bound, "pf.iv.c"))
+
+
+def _subchain(chain_instructions: list[Instruction],
+              covered: Load) -> list[Instruction]:
+    """The chain instructions the covered load's address depends on,
+    in program order, ending with the covered load itself."""
+    in_chain = {id(inst): inst for inst in chain_instructions}
+    needed = {id(covered)}
+    for inst in reversed(chain_instructions):
+        if id(inst) in needed:
+            for operand in inst.operands:
+                if id(operand) in in_chain:
+                    needed.add(id(operand))
+    return [inst for inst in chain_instructions if id(inst) in needed]

@@ -1,0 +1,140 @@
+"""The depth-first search of Algorithm 1 (lines 1-24).
+
+Starting from a load inside a loop, walk the data-dependence graph
+backwards through SSA operands to find an induction variable in the
+transitive closure of the address computation.  Record every instruction
+on each path from the induction variable to the load: that set becomes
+the prefetch address-generation code.
+
+Searching stops along a path at instructions not inside any loop
+(allocations, loop-invariant setup code) and at non-instruction values
+(constants, arguments).  Non-induction phis are traversed and *recorded*
+so that the legality stage (Algorithm 1 line 40) can reject the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...ir.instructions import Instruction, Load, Phi
+from ...ir.values import Value
+from ..analysis_bundle import FunctionAnalyses
+from ...analysis.induction import InductionVariable
+
+
+@dataclass
+class ChainSearchResult:
+    """Outcome of the DFS for one target load.
+
+    :ivar iv: the chosen induction variable (innermost when several are
+        referenced, per Algorithm 1 line 21).
+    :ivar instructions: all instructions on paths from the IV to the load,
+        including the load itself, in program order.
+    :ivar all_ivs: every induction variable any path reached (useful for
+        diagnostics and the innermost-IV ablation).
+    """
+
+    iv: InductionVariable
+    instructions: list[Instruction]
+    all_ivs: list[InductionVariable] = field(default_factory=list)
+
+
+def find_chain(load: Load, analyses: FunctionAnalyses
+               ) -> ChainSearchResult | None:
+    """Run the Algorithm 1 DFS from ``load``.
+
+    Returns ``None`` when no induction variable of a loop enclosing the
+    load is reachable through the address computation.
+    """
+    loop_info = analyses.loop_info
+    induction = analyses.induction
+    load_loop = loop_info.loop_of(load)
+    if load_loop is None:
+        return None
+
+    # Loops enclosing the load, innermost first; IVs must belong to one.
+    enclosing: list = []
+    loop = load_loop
+    while loop is not None:
+        enclosing.append(loop)
+        loop = loop.parent
+
+    # memo maps instruction id -> dict of iv id -> set of instruction ids
+    # on paths from that iv through this instruction.
+    memo: dict[int, dict[int, set[int]] | None] = {}
+    iv_by_id: dict[int, InductionVariable] = {}
+    inst_by_id: dict[int, Instruction] = {}
+
+    def dfs(inst: Instruction, visiting: set[int]) -> dict[int, set[int]]:
+        """Return {iv_id: instruction-id set} for paths through ``inst``."""
+        if id(inst) in memo:
+            cached = memo[id(inst)]
+            return dict(cached) if cached else {}
+        if id(inst) in visiting:
+            return {}  # loop-carried cycle through a non-IV phi
+        visiting.add(id(inst))
+        inst_by_id[id(inst)] = inst
+
+        candidates: dict[int, set[int]] = {}
+        operands: list[Value] = list(inst.operands)
+        if isinstance(inst, Phi):
+            operands = [v for v, _ in inst.incoming]
+        for operand in operands:
+            iv = induction.iv_for(operand)
+            if iv is not None and iv.loop in enclosing:
+                # Found an induction variable: finish this path.
+                iv_by_id[id(operand)] = iv
+                candidates.setdefault(id(operand), set()).add(id(inst))
+            elif isinstance(operand, Instruction) and \
+                    loop_info.in_any_loop(operand):
+                # Recurse to find an induction variable (line 8-10).
+                sub = dfs(operand, visiting)
+                for iv_id, insts in sub.items():
+                    merged = candidates.setdefault(iv_id, set())
+                    merged.add(id(inst))
+                    merged.update(insts)
+            # Otherwise: defined outside all loops / constant / argument --
+            # stop searching along this path.
+        visiting.discard(id(inst))
+        memo[id(inst)] = {k: set(v) for k, v in candidates.items()}
+        return candidates
+
+    candidates = dfs(load, set())
+    if not candidates:
+        return None
+
+    all_ivs = [iv_by_id[iv_id] for iv_id in candidates]
+    # Multiple induction variables: choose the one in the closest
+    # (innermost) loop to the load (Algorithm 1 line 21).
+    def loop_rank(iv: InductionVariable) -> int:
+        for rank, enclosing_loop in enumerate(enclosing):
+            if iv.loop is enclosing_loop:
+                return rank
+        return len(enclosing)
+
+    chosen_id = min(candidates, key=lambda iv_id: loop_rank(iv_by_id[iv_id]))
+    chosen_iv = iv_by_id[chosen_id]
+    inst_ids = candidates[chosen_id]
+
+    ordered = _program_order(
+        [inst_by_id[i] for i in inst_ids], load.function)
+    return ChainSearchResult(iv=chosen_iv, instructions=ordered,
+                             all_ivs=all_ivs)
+
+
+def _program_order(instructions: list[Instruction], func) -> list[Instruction]:
+    position: dict[int, tuple[int, int]] = {}
+    for block_index, block in enumerate(func.blocks):
+        for inst_index, inst in enumerate(block):
+            position[id(inst)] = (block_index, inst_index)
+    return sorted(instructions, key=lambda i: position[id(i)])
+
+
+def chain_loads(result: ChainSearchResult) -> list[Load]:
+    """The loads of a chain in dependence order (base-most first).
+
+    Program order is a topological order of SSA dependences, so the sorted
+    instruction list already satisfies "base-most first"; the target load
+    is last.
+    """
+    return [i for i in result.instructions if isinstance(i, Load)]

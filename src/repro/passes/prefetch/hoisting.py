@@ -1,0 +1,179 @@
+"""Prefetch loop hoisting (§4.6).
+
+Loads inside an inner loop may be rejected by the main pass because their
+address computation crosses a non-induction phi (e.g. the node pointer of
+a linked-list walk).  When that phi lives in the inner loop's header and
+its initial value comes from the enclosing loop, the first inner-loop
+iteration's address is computable *before* the inner loop starts: we
+substitute the phi with its initial value and hoist the prefetch code into
+the inner loop's preheader.
+
+Safety requires that the hoisted code's loads would have executed anyway:
+
+* the preheader must end in an unconditional jump to the header (so the
+  loop body is entered whenever the hoisted code runs);
+* every chain load must execute on every iteration (block dominates the
+  latches), hence on the guaranteed first iteration;
+* no stores in the inner loop may clobber the arrays the chain loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...analysis.cfg import dominates
+from ...analysis.memdep import may_alias, stores_in_loop
+from ...ir.builder import IRBuilder
+from ...ir.function import Function
+from ...ir.instructions import (Instruction, Jump, Load, Phi, Prefetch,
+                                clone_instruction)
+from ...ir.values import Argument, Constant, Value
+from ..analysis_bundle import FunctionAnalyses
+from .dfs import find_chain
+from .legality import RejectReason
+
+
+@dataclass
+class HoistedPrefetch:
+    """A prefetch emitted in an inner loop's preheader."""
+
+    load: Load
+    prefetch: Prefetch
+    new_instructions: list[Instruction]
+
+
+def hoist_inner_loop_prefetches(func: Function, report,
+                                options) -> list[HoistedPrefetch]:
+    """Attempt §4.6 hoisting for loads the main pass rejected.
+
+    Operates on the loads recorded in ``report.rejected`` with reason
+    ``NON_INDUCTION_PHI``; returns the hoisted prefetches (also appended
+    to the caller's report by the pass driver).
+    """
+    analyses = FunctionAnalyses(func)
+    hoisted: list[HoistedPrefetch] = []
+    for rejected in report.rejected:
+        if rejected.reason is not RejectReason.NON_INDUCTION_PHI:
+            continue
+        result = _try_hoist(rejected.load, analyses)
+        if result is not None:
+            hoisted.append(result)
+    return hoisted
+
+
+def _try_hoist(load: Load, analyses: FunctionAnalyses
+               ) -> HoistedPrefetch | None:
+    loop = analyses.loop_info.loop_of(load)
+    if loop is None:
+        return None
+    preheader = loop.preheader
+    if preheader is None or not isinstance(preheader.terminator, Jump):
+        return None
+
+    chain = find_chain(load, analyses)
+    if chain is None:
+        # The address may not involve any IV at all (pure pointer chase);
+        # fall back to the phi-rooted walk.
+        chain_instructions = _phi_rooted_chain(load, loop)
+        if chain_instructions is None:
+            return None
+    else:
+        chain_instructions = chain.instructions
+
+    # Collect the non-induction phis used by the chain; all must be header
+    # phis of this loop with an incoming value from the preheader.
+    substitutions: dict[Value, Value] = {}
+    for inst in chain_instructions:
+        if isinstance(inst, Phi):
+            if analyses.induction.is_induction_phi(inst):
+                return None  # mixed IV/pointer chain: leave to main pass
+            if inst.parent is not loop.header:
+                return None
+            try:
+                substitutions[inst] = inst.incoming_for_block(preheader)
+            except KeyError:
+                return None
+
+    if not substitutions:
+        return None  # nothing to hoist around
+
+    body = [i for i in chain_instructions if not isinstance(i, Phi)]
+
+    # All loads in the chain must execute every iteration.
+    idom = analyses.dominators
+    for inst in body:
+        if not all(dominates(inst.parent, latch, idom)
+                   for latch in loop.latches):
+            return None
+
+    # Inputs of the hoisted code must be available at the preheader.
+    chain_ids = {id(i) for i in chain_instructions}
+    for inst in body:
+        for operand in inst.operands:
+            if id(operand) in chain_ids or operand in substitutions:
+                continue
+            if isinstance(operand, (Constant, Argument)):
+                continue
+            if isinstance(operand, Instruction) and \
+                    operand.parent in loop.blocks:
+                return None  # depends on another in-loop value
+
+    # No stores in the loop may clobber the chain's loads.
+    stores = stores_in_loop(loop)
+    for inst in body:
+        if isinstance(inst, Load) and inst is not load:
+            if any(may_alias(s.ptr, inst.ptr) for s in stores):
+                return None
+
+    # Emit: clones of the chain at the preheader, final load -> prefetch.
+    builder = IRBuilder()
+    builder.set_insert_point(preheader, before=preheader.terminator)
+    created: list[Instruction] = []
+    value_map: dict[Value, Value] = dict(substitutions)
+    prefetch: Prefetch | None = None
+    for inst in body:
+        if inst is load:
+            ptr = value_map.get(load.ptr, load.ptr)
+            prefetch = builder.prefetch(ptr)
+            created.append(prefetch)
+        else:
+            clone = clone_instruction(inst, value_map)
+            builder._insert(clone)
+            created.append(clone)
+    assert prefetch is not None
+    return HoistedPrefetch(load=load, prefetch=prefetch,
+                           new_instructions=created)
+
+
+def _phi_rooted_chain(load: Load, loop) -> list[Instruction] | None:
+    """Chain for addresses rooted at a header phi with no IV (e.g. a
+    linked-list cursor): walk back from the load to phis of this loop."""
+    chain: list[Instruction] = []
+    seen: set[int] = set()
+
+    def walk(value: Value) -> bool:
+        if id(value) in seen:
+            return True
+        seen.add(id(value))
+        if isinstance(value, Phi):
+            chain.append(value)
+            return value.parent is loop.header
+        if isinstance(value, (Constant, Argument)):
+            return True
+        if isinstance(value, Instruction):
+            if value.parent not in loop.blocks:
+                return True  # loop-invariant input
+            chain.append(value)
+            return all(walk(op) for op in value.operands)
+        return False
+
+    if not walk(load):
+        return None
+    # Program order.
+    position = {}
+    func = load.function
+    for bi, block in enumerate(func.blocks):
+        for ii, inst in enumerate(block):
+            position[id(inst)] = (bi, ii)
+    chain.sort(key=lambda i: position[id(i)])
+    return chain

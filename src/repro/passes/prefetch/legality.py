@@ -1,0 +1,188 @@
+"""Legality filtering for prefetch candidates (Algorithm 1 lines 34-40,
+plus the fault-avoidance conditions of §4.2).
+
+A candidate chain survives only when duplicating its instructions at
+look-ahead offsets cannot introduce new faults or side effects:
+
+* no function calls in the chain (unless the pass option permitting
+  *pure* calls is enabled — the extension §4.1 sketches);
+* no non-induction phi nodes in the chain (complex control flow);
+* no stores in the loop that may clobber the arrays the chain loads from;
+* chain instructions must execute unconditionally every iteration (not
+  control-dependent on loop-variant values);
+* a safe clamp bound for the look-ahead induction value must exist:
+  either the look-ahead array's size is statically discoverable (alloc
+  or annotated argument) or the loop has a single termination condition
+  on a monotonic induction variable used as a *direct* index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ...analysis.allocsize import known_array_bound
+from ...analysis.cfg import dominates
+from ...analysis.induction import InductionVariable
+from ...analysis.memdep import may_alias, stores_in_loop
+from ...ir.instructions import Call, GEP, Instruction, Load, Phi
+from ...ir.values import Argument, Constant, Value
+from ..analysis_bundle import FunctionAnalyses
+from .dfs import ChainSearchResult, chain_loads
+
+
+class RejectReason(Enum):
+    """Why a candidate load was not prefetched."""
+
+    NO_INDUCTION_VARIABLE = "no induction variable found by the DFS"
+    NOT_INDIRECT = "pure stride access; left to the hardware prefetcher"
+    CONTAINS_CALL = "address computation contains a (possibly impure) call"
+    NON_INDUCTION_PHI = "address computation contains a non-induction phi"
+    STORED_TO = "loop stores to an array used for address generation"
+    VARIANT_CONTROL = ("address loads are control-dependent on "
+                       "loop-variant values")
+    NO_SAFE_BOUND = "no array size or usable loop bound for the clamp"
+    LOOP_VARIANT_INPUT = ("address computation reads loop-variant values "
+                          "outside the recorded chain")
+
+
+@dataclass
+class ClampBound:
+    """How to clamp ``iv + offset`` so duplicated loads cannot fault.
+
+    :ivar value: IR value of the bound (array size or loop bound).
+    :ivar inclusive: whether ``iv`` may equal ``value``.  When false the
+        emitted clamp is ``min(iv + off, value - 1)``.
+    :ivar source: ``"alloc"``, ``"argument"`` or ``"loop"``.
+    """
+
+    value: Value
+    inclusive: bool
+    source: str
+
+
+@dataclass
+class LegalityResult:
+    """Outcome of legality checking for one candidate."""
+
+    ok: bool
+    reason: RejectReason | None = None
+    detail: str = ""
+    clamp: ClampBound | None = None
+
+
+def check_chain(chain: ChainSearchResult, load: Load,
+                analyses: FunctionAnalyses, *,
+                allow_pure_calls: bool = False,
+                require_canonical_iv: bool = False) -> LegalityResult:
+    """Apply every legality filter to one candidate chain."""
+    iv = chain.iv
+    loads = chain_loads(chain)
+
+    # Pure stride accesses are not prefetched here (§4.3): the hardware
+    # stride prefetcher already covers them.
+    if len(loads) < 2:
+        return LegalityResult(False, RejectReason.NOT_INDIRECT)
+
+    if require_canonical_iv and not iv.is_canonical:
+        return LegalityResult(
+            False, RejectReason.NO_SAFE_BOUND,
+            "induction variable is not in canonical form")
+
+    # Algorithm 1 line 35: function calls only if side-effect free.
+    for inst in chain.instructions:
+        if isinstance(inst, Call):
+            if not allow_pure_calls:
+                return LegalityResult(False, RejectReason.CONTAINS_CALL,
+                                      f"call to @{inst.callee.name}")
+            if not analyses.side_effects.call_is_safe_to_duplicate(inst):
+                return LegalityResult(
+                    False, RejectReason.CONTAINS_CALL,
+                    f"call to impure @{inst.callee.name}")
+
+    # Algorithm 1 line 40: non-induction phi nodes indicate control flow
+    # the pass cannot reproduce next to the load.
+    for inst in chain.instructions:
+        if isinstance(inst, Phi) and inst is not iv.phi:
+            return LegalityResult(False, RejectReason.NON_INDUCTION_PHI,
+                                  f"phi %{inst.name} in chain")
+
+    # §4.2: no stores in the loop to arrays the chain loads from.  The
+    # *target* load is excluded: it becomes a prefetch, which reads
+    # nothing architecturally.
+    intermediate_loads = [l for l in loads if l is not load]
+    stores = stores_in_loop(iv.loop)
+    for intermediate in intermediate_loads:
+        for store in stores:
+            if may_alias(store.ptr, intermediate.ptr):
+                return LegalityResult(
+                    False, RejectReason.STORED_TO,
+                    f"store may clobber %{intermediate.name or 'load'}")
+
+    # §4.2: chain instructions must execute unconditionally each
+    # iteration of the IV's loop — i.e. their blocks dominate the latch.
+    idom = analyses.dominators
+    for inst in chain.instructions:
+        if inst.parent is None:
+            return LegalityResult(False, RejectReason.VARIANT_CONTROL,
+                                  "unplaced chain instruction")
+        for latch in iv.loop.latches:
+            if not dominates(inst.parent, latch, idom):
+                return LegalityResult(
+                    False, RejectReason.VARIANT_CONTROL,
+                    f"{inst.opcode} in conditional block "
+                    f"{inst.parent.name}")
+
+    # Every value the chain consumes from outside the chain must be
+    # loop-invariant w.r.t. the IV's loop (other than the IV itself).
+    chain_ids = {id(i) for i in chain.instructions}
+    for inst in chain.instructions:
+        for operand in inst.operands:
+            if operand is iv.phi or id(operand) in chain_ids:
+                continue
+            if isinstance(operand, (Constant, Argument)):
+                continue
+            if isinstance(operand, Instruction) and \
+                    operand.parent in iv.loop.blocks:
+                return LegalityResult(
+                    False, RejectReason.LOOP_VARIANT_INPUT,
+                    f"{inst.opcode} reads loop-variant "
+                    f"%{operand.name or operand.opcode}")
+
+    clamp = _find_clamp_bound(chain, loads[0], iv)
+    if clamp is None:
+        return LegalityResult(False, RejectReason.NO_SAFE_BOUND)
+    return LegalityResult(True, clamp=clamp)
+
+
+def _find_clamp_bound(chain: ChainSearchResult, first_load: Load,
+                      iv: InductionVariable) -> ClampBound | None:
+    """Derive the clamp for ``min(iv + off, bound)`` (§4.2).
+
+    Prefers size information recovered from the IR (allocation or
+    annotated argument) over the loop bound, since the former never
+    changes program behaviour even for originally-faulty programs.
+    """
+    bound = known_array_bound(first_load.ptr)
+    if bound is not None:
+        # Valid indices are 0 .. count-1.
+        return ClampBound(value=bound.count, inclusive=False,
+                          source=bound.source)
+
+    # Fall back to the loop bound.  This requires (a) a single loop
+    # termination condition, captured by InductionAnalysis as iv.bound;
+    # (b) a monotonic IV; and (c) the look-ahead array being indexed by
+    # the IV *directly* (base[i], not base[f(i)]) — the prototype
+    # restriction of §4.2.
+    if iv.bound is None:
+        return None
+    if not iv.is_increasing:
+        # The prototype restriction: look-ahead arrays are walked upwards.
+        # (Decreasing IVs would need a max-clamp; see tests for coverage
+        # of the rejection.)
+        return None
+    gep = first_load.ptr
+    if not (isinstance(gep, GEP) and gep.index is iv.phi):
+        return None
+    return ClampBound(value=iv.bound.value, inclusive=iv.bound.inclusive,
+                      source="loop")

@@ -1,0 +1,250 @@
+"""Driver for the automatic indirect-prefetch pass (the paper's Algorithm 1).
+
+Usage::
+
+    from repro.passes.prefetch import IndirectPrefetchPass, PrefetchOptions
+
+    pass_ = IndirectPrefetchPass(PrefetchOptions(lookahead=64))
+    report = pass_.run(module)          # or pass_.run_on_function(func)
+    print(report.summary())
+
+The pass finds loads inside loops whose addresses are (transitively)
+computed from an induction variable, rejects those that cannot be made
+fault-free (§4.2), schedules staggered look-ahead offsets (§4.4, eq. 1),
+and inserts the prefetch code just before each original load (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...analysis.sideeffects import SideEffectAnalysis
+from ...ir.function import Function
+from ...ir.instructions import Load
+from ...ir.module import Module
+from ...ir.verifier import verify_function
+from ..analysis_bundle import FunctionAnalyses
+from .dfs import ChainSearchResult, chain_loads, find_chain
+from .legality import (ClampBound, LegalityResult, RejectReason, check_chain)
+from .codegen import EmittedPrefetch, emit_prefetches
+from .scheduling import (DEFAULT_LOOKAHEAD, ScheduledPrefetch,
+                         schedule_chain)
+
+
+@dataclass
+class PrefetchOptions:
+    """Tuning knobs of the prefetch pass.
+
+    :ivar lookahead: the constant ``c`` of eq. (1); the paper uses 64.
+    :ivar emit_stride_prefetch: emit the staggered stride prefetch for the
+        look-ahead array itself (Fig. 5's "Indirect + Stride"; on by
+        default, as in the paper's pass).
+    :ivar max_stagger_depth: prefetch at most this many dependent indirect
+        loads per chain (Fig. 7); ``None`` = all.
+    :ivar allow_pure_calls: permit side-effect-free calls in prefetch
+        address code (the extension sketched in §4.1).
+    :ivar enable_hoisting: enable prefetch loop hoisting (§4.6).
+    :ivar require_canonical_iv: restrict to canonical induction variables
+        (the prototype restriction mentioned in §4.2).
+    :ivar verify: run the IR verifier after transforming each function.
+    """
+
+    lookahead: int = DEFAULT_LOOKAHEAD
+    emit_stride_prefetch: bool = True
+    max_stagger_depth: int | None = None
+    allow_pure_calls: bool = False
+    enable_hoisting: bool = False
+    require_canonical_iv: bool = False
+    verify: bool = True
+
+
+@dataclass
+class AcceptedChain:
+    """A chain the pass prefetched."""
+
+    load: Load
+    chain: ChainSearchResult
+    clamp: ClampBound
+    schedules: list[ScheduledPrefetch]
+    emitted: list[EmittedPrefetch]
+
+    @property
+    def num_loads(self) -> int:
+        """``t`` of eq. (1) for this chain."""
+        return len(chain_loads(self.chain))
+
+
+@dataclass
+class RejectedLoad:
+    """A load the pass considered but did not prefetch."""
+
+    load: Load
+    reason: RejectReason
+    detail: str = ""
+
+
+@dataclass
+class FunctionReport:
+    """Per-function outcome of the pass."""
+
+    function: Function
+    accepted: list[AcceptedChain] = field(default_factory=list)
+    rejected: list[RejectedLoad] = field(default_factory=list)
+    subsumed: list[Load] = field(default_factory=list)
+    hoisted: list = field(default_factory=list)
+
+    @property
+    def num_prefetches(self) -> int:
+        """Total prefetch instructions inserted in this function."""
+        return (sum(len(a.emitted) for a in self.accepted)
+                + len(self.hoisted))
+
+
+@dataclass
+class PrefetchReport:
+    """Whole-module outcome of the pass."""
+
+    functions: list[FunctionReport] = field(default_factory=list)
+
+    @property
+    def num_prefetches(self) -> int:
+        """Total prefetch instructions inserted."""
+        return sum(f.num_prefetches for f in self.functions)
+
+    @property
+    def accepted(self) -> list[AcceptedChain]:
+        """All accepted chains across functions."""
+        return [a for f in self.functions for a in f.accepted]
+
+    @property
+    def rejected(self) -> list[RejectedLoad]:
+        """All rejected loads across functions."""
+        return [r for f in self.functions for r in f.rejected]
+
+    def summary(self) -> str:
+        """Human-readable description of what the pass did."""
+        lines = []
+        for freport in self.functions:
+            lines.append(f"function @{freport.function.name}:")
+            for acc in freport.accepted:
+                offsets = ", ".join(
+                    f"l={s.position}@+{s.offset}" for s in acc.schedules)
+                lines.append(
+                    f"  prefetched %{acc.load.name or 'load'} "
+                    f"(t={acc.num_loads}, clamp={acc.clamp.source}, "
+                    f"{offsets})")
+            for rej in freport.rejected:
+                detail = f" ({rej.detail})" if rej.detail else ""
+                lines.append(
+                    f"  rejected %{rej.load.name or 'load'}: "
+                    f"{rej.reason.value}{detail}")
+            for load in freport.subsumed:
+                lines.append(
+                    f"  %{load.name or 'load'} covered by a longer chain")
+        return "\n".join(lines) if lines else "(nothing to do)"
+
+
+class IndirectPrefetchPass:
+    """The automatic software-prefetch generation pass for indirect
+    memory accesses (Algorithm 1)."""
+
+    name = "indirect-prefetch"
+
+    def __init__(self, options: PrefetchOptions | None = None):
+        self.options = options or PrefetchOptions()
+
+    def run(self, module: Module) -> PrefetchReport:
+        """Run on every function of ``module``."""
+        side_effects = SideEffectAnalysis(module)
+        report = PrefetchReport()
+        for func in module.functions:
+            report.functions.append(
+                self.run_on_function(func, side_effects))
+        return report
+
+    def run_on_function(self, func: Function,
+                        side_effects: SideEffectAnalysis | None = None
+                        ) -> FunctionReport:
+        """Run on a single function and return its report."""
+        analyses = FunctionAnalyses(func, side_effects)
+        report = FunctionReport(function=func)
+
+        # Collect candidate loads *before* mutating (Algorithm 1 line 30).
+        loads = [inst for inst in func.instructions()
+                 if isinstance(inst, Load) and analyses.loop_info.loop_of(
+                     inst) is not None]
+
+        # Phase 1: DFS + legality for every load.
+        chains: list[tuple[Load, ChainSearchResult, LegalityResult]] = []
+        for load in loads:
+            chain = find_chain(load, analyses)
+            if chain is None:
+                report.rejected.append(RejectedLoad(
+                    load, RejectReason.NO_INDUCTION_VARIABLE))
+                continue
+            legality = check_chain(
+                chain, load, analyses,
+                allow_pure_calls=self.options.allow_pure_calls,
+                require_canonical_iv=self.options.require_canonical_iv)
+            if not legality.ok:
+                report.rejected.append(RejectedLoad(
+                    load, legality.reason, legality.detail))
+                continue
+            chains.append((load, chain, legality))
+
+        # Phase 2: drop chains subsumed by a longer chain over the same
+        # induction variable (their loads are covered by the longer
+        # chain's staggered prefetches).
+        maximal = self._select_maximal(chains, report)
+
+        # Phase 3: schedule and emit, deduplicating identical prefetches
+        # (same covered load at the same offset) across chains.
+        emitted_keys: set[tuple[int, int]] = set()
+        for load, chain, legality in maximal:
+            loads_in_chain = chain_loads(chain)
+            schedules = schedule_chain(
+                len(loads_in_chain), self.options.lookahead,
+                max_depth=self.options.max_stagger_depth,
+                include_stride=self.options.emit_stride_prefetch)
+            schedules = [
+                s for s in schedules
+                if (id(loads_in_chain[s.position]), s.offset)
+                not in emitted_keys]
+            if not schedules:
+                continue
+            for s in schedules:
+                emitted_keys.add((id(loads_in_chain[s.position]), s.offset))
+            emitted = emit_prefetches(chain, legality.clamp, schedules)
+            report.accepted.append(AcceptedChain(
+                load=load, chain=chain, clamp=legality.clamp,
+                schedules=schedules, emitted=emitted))
+
+        if self.options.enable_hoisting:
+            from .hoisting import hoist_inner_loop_prefetches
+            report.hoisted = hoist_inner_loop_prefetches(
+                func, report, self.options)
+
+        if self.options.verify:
+            verify_function(func)
+        return report
+
+    @staticmethod
+    def _select_maximal(chains, report: FunctionReport):
+        """Keep only chains not subsumed by a longer chain on the same IV."""
+        maximal = []
+        load_sets = [
+            (set(map(id, chain_loads(chain))), load, chain, legality)
+            for load, chain, legality in chains]
+        for ids, load, chain, legality in load_sets:
+            subsumed = False
+            for other_ids, other_load, other_chain, _ in load_sets:
+                if other_load is load:
+                    continue
+                if ids < other_ids and other_chain.iv is chain.iv:
+                    subsumed = True
+                    break
+            if subsumed:
+                report.subsumed.append(load)
+            else:
+                maximal.append((load, chain, legality))
+        return maximal

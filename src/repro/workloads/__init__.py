@@ -1,0 +1,52 @@
+"""The paper's seven benchmarks (§5.1), expressed as IR kernels.
+
+Each workload builds plain / auto-prefetched / manually-prefetched /
+ICC-baseline variants of its kernel and prepares validated inputs.  The
+default constructor arguments use simulation-scale sizes; pass smaller
+ones in unit tests and larger ones for longer experiments.
+"""
+
+from .base import PreparedRun, Workload, VARIANTS
+from .conjugate_gradient import ConjugateGradient
+from .graph500 import Graph500
+from .hash_join import HashJoin, hj2, hj8
+from .integer_sort import IntegerSort
+from .kronecker import CSRGraph, bfs_reference, generate_kronecker
+from .random_access import RandomAccess
+
+__all__ = [
+    "PreparedRun", "Workload", "VARIANTS",
+    "ConjugateGradient", "Graph500", "HashJoin", "hj2", "hj8",
+    "IntegerSort", "RandomAccess",
+    "CSRGraph", "bfs_reference", "generate_kronecker",
+]
+
+
+def paper_benchmarks(small: bool = False) -> list[Workload]:
+    """The seven-benchmark suite of Fig. 4, in the paper's order.
+
+    :param small: shrink inputs for quick runs (tests); the default sizes
+        are the calibrated simulation-scale ones used by ``benchmarks/``.
+    """
+    if small:
+        return [
+            IntegerSort(num_keys=2_000, num_buckets=1 << 16),
+            ConjugateGradient(nrows=200, row_nnz=10, x_size=1 << 13),
+            RandomAccess(nblocks=10, table_size=1 << 15),
+            hj2(num_probes=2_000, num_buckets=1 << 13),
+            hj8(num_probes=1_000, num_buckets=1 << 11),
+            Graph500(scale=9, edge_factor=8, label="G500-s16"),
+            Graph500(scale=11, edge_factor=8, label="G500-s21"),
+        ]
+    return [
+        IntegerSort(),
+        ConjugateGradient(),
+        RandomAccess(),
+        hj2(),
+        hj8(),
+        # Proxies for the paper's -s16/-s21 graphs: the small one mostly
+        # fits in a Haswell LLC (like the paper's 10 MiB graph), the
+        # large one's edge list decisively exceeds it.
+        Graph500(scale=14, edge_factor=10, label="G500-s16"),
+        Graph500(scale=16, edge_factor=8, label="G500-s21"),
+    ]

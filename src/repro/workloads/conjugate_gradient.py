@@ -1,0 +1,204 @@
+"""Conjugate Gradient (CG) — NAS Parallel Benchmarks kernel (§5.1).
+
+The timed kernel is the CSR sparse matrix-vector product at the heart of
+CG's eigenvalue estimation::
+
+    for (i = 0; i < nrows; i++) {
+        sum = 0.0;
+        for (k = rowstr[i]; k < rowstr[i+1]; k++)
+            sum += a[k] * x[colidx[k]];
+        y[i] = sum;
+    }
+
+The irregular access is ``x[colidx[k]]``: ``colidx`` streams sequentially
+(hardware-prefetchable) while ``x`` is hit data-dependently.  The dense
+vector is deliberately smaller than the other benchmarks' targets — the
+paper notes CG's irregular dataset "is more likely to fit in the L2
+cache, and presents less of a challenge for the TLB system".
+
+The inner loop exercises the pass on non-canonical induction variables
+(``k`` starts at ``rowstr[i]``) and on float accumulator phis that must
+*not* end up in the prefetch chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import FLOAT64, INT64, VOID, pointer
+from ..ir.values import Constant
+from ..ir.verifier import verify_module
+from ..machine.memory import Memory
+from .base import PreparedRun, Workload
+
+
+class ConjugateGradient(Workload):
+    """CG sparse matrix-vector multiply.
+
+    :param nrows: matrix rows.
+    :param row_nnz: nonzeros per row (uniform, like NAS CG's generator's
+        target density).
+    :param x_size: dense-vector length; ~1 MiB by default so it thrashes
+        the smaller L2s but lives comfortably in Haswell's L3.
+    :param repeats: times the mat-vec runs inside the timed kernel.  CG
+        iterates, so after the first pass the dense vector is
+        cache-warm on machines whose LLC holds it — exactly the regime
+        the paper measures.
+    """
+
+    name = "CG"
+
+    def __init__(self, nrows: int = 1_500, row_nnz: int = 14,
+                 x_size: int = 1 << 17, repeats: int = 3, seed: int = 43):
+        super().__init__(seed)
+        self.nrows = nrows
+        self.row_nnz = row_nnz
+        self.x_size = x_size
+        self.repeats = repeats
+        self.nnz = nrows * row_nnz
+
+    def _new_module(self) -> tuple[Module, IRBuilder]:
+        module = Module("cg")
+        func = module.create_function(
+            "kernel", VOID,
+            [("rowstr", pointer(INT64)), ("colidx", pointer(INT64)),
+             ("a", pointer(FLOAT64)), ("x", pointer(FLOAT64)),
+             ("y", pointer(FLOAT64)), ("nrows", INT64)])
+        sizes = {"rowstr": self.nrows + 1, "colidx": self.nnz,
+                 "a": self.nnz, "x": self.x_size, "y": self.nrows}
+        for name, size in sizes.items():
+            arg = func.arg(name)
+            arg.array_size = Constant(INT64, size)
+            arg.noalias = True
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        return module, builder
+
+    def _build(self, manual_lookahead: int | None) -> Module:
+        module, b = self._new_module()
+        func = module.function("kernel")
+        rowstr, colidx = func.arg("rowstr"), func.arg("colidx")
+        a, x, y = func.arg("a"), func.arg("x"), func.arg("y")
+        nrows = func.arg("nrows")
+
+        # Outer repeat loop: CG re-runs the mat-vec every iteration.
+        rep_body = func.add_block("rep.body")
+        rep_done = func.add_block("rep.done")
+        rep_guard = b.cmp("slt", b.const(0), b.const(self.repeats),
+                          "rep.guard")
+        b.br(rep_guard, rep_body, rep_done)
+        kernel_entry = b.block
+        b.set_insert_point(rep_body)
+        rep = b.phi(INT64, "rep")
+
+        rows = func.add_block("rows")
+        rows_done = func.add_block("rows.done")
+        inner = func.add_block("inner")
+        inner_done = func.add_block("inner.done")
+
+        guard = b.cmp("slt", b.const(0), nrows, "rows.guard")
+        b.br(guard, rows, rows_done)
+        entry = b.block
+
+        # Row loop.
+        b.set_insert_point(rows)
+        i = b.phi(INT64, "i")
+        lo = b.load(b.gep(rowstr, i, "lop"), "lo")
+        i1 = b.add(i, b.const(1), "i1")
+        hi = b.load(b.gep(rowstr, i1, "hip"), "hi")
+        inner_guard = b.cmp("slt", lo, hi, "inner.guard")
+        b.br(inner_guard, inner, inner_done)
+
+        # Inner nonzero loop with a float accumulator phi.
+        b.set_insert_point(inner)
+        k = b.phi(INT64, "k")
+        acc = b.phi(FLOAT64, "acc")
+        if manual_lookahead is not None:
+            # Manual scheme: staggered prefetches of the column stream
+            # and the dense vector, with the paper's c and c/2 spacing.
+            k_far = b.add(k, b.const(manual_lookahead), "k.pf2")
+            b.prefetch(b.gep(colidx, k_far, "cp.pf2"))
+            k_near = b.add(k, b.const(max(1, manual_lookahead // 2)),
+                           "k.pf")
+            col_ahead = b.load(b.gep(colidx, k_near, "cp.pf"), "c.pf")
+            b.prefetch(b.gep(x, col_ahead, "xp.pf"))
+            b.prefetch(b.gep(a, k_near, "ap.pf"))
+        col = b.load(b.gep(colidx, k, "cp"), "c")
+        av = b.load(b.gep(a, k, "ap"), "av")
+        xv = b.load(b.gep(x, col, "xp"), "xv")
+        prod = b.fmul(av, xv, "prod")
+        acc_next = b.fadd(acc, prod, "acc.next")
+        k_next = b.add(k, b.const(1), "k.next")
+        inner_cond = b.cmp("slt", k_next, hi, "inner.cond")
+        b.br(inner_cond, inner, inner_done)
+        k.add_incoming(lo, rows)
+        k.add_incoming(k_next, inner)
+        acc.add_incoming(b.const(0.0, FLOAT64), rows)
+        acc.add_incoming(acc_next, inner)
+
+        # Row epilogue: store the dot product.
+        b.set_insert_point(inner_done)
+        total = b.phi(FLOAT64, "total")
+        total.add_incoming(b.const(0.0, FLOAT64), rows)
+        total.add_incoming(acc_next, inner)
+        b.store(total, b.gep(y, i, "yp"))
+        i_next = b.add(i, b.const(1), "i.next")
+        rows_cond = b.cmp("slt", i_next, nrows, "rows.cond")
+        b.br(rows_cond, rows, rows_done)
+        i.add_incoming(b.const(0), entry)
+        i.add_incoming(i_next, inner_done)
+
+        b.set_insert_point(rows_done)
+        rep_next = b.add(rep, b.const(1), "rep.next")
+        rep_cond = b.cmp("slt", rep_next, b.const(self.repeats),
+                         "rep.cond")
+        b.br(rep_cond, rep_body, rep_done)
+        rep.add_incoming(b.const(0), kernel_entry)
+        rep.add_incoming(rep_next, rows_done)
+
+        b.set_insert_point(rep_done)
+        b.ret()
+        verify_module(module)
+        return module
+
+    def build(self) -> Module:
+        return self._build(None)
+
+    def build_manual(self, lookahead: int = 64, **_unused) -> Module:
+        return self._build(lookahead)
+
+    def prepare(self, memory: Memory) -> PreparedRun:
+        # Column slack keeps the manual variant's unclamped look-ahead
+        # loads in bounds (allocation slack, as in the C original).
+        slack = 2 * 256 + 8
+        cols = self.rng.integers(0, self.x_size, self.nnz)
+        values = self.rng.random(self.nnz)
+        xvals = self.rng.random(self.x_size)
+        rowstr_np = np.arange(self.nrows + 1, dtype=np.int64) * self.row_nnz
+
+        rowstr = memory.allocate(8, self.nrows + 1, "rowstr")
+        rowstr.fill(rowstr_np)
+        colidx = memory.allocate(8, self.nnz + slack, "colidx")
+        colidx.fill(np.concatenate(
+            [cols, np.zeros(slack, dtype=np.int64)]))
+        a = memory.allocate(8, self.nnz + slack, "a", is_float=True)
+        a.fill(np.concatenate([values, np.zeros(slack)]))
+        x = memory.allocate(8, self.x_size, "x", is_float=True)
+        x.fill(xvals)
+        y = memory.allocate(8, self.nrows, "y", is_float=True)
+
+        gathered = values * xvals[cols]
+        expected = gathered.reshape(self.nrows, self.row_nnz).sum(axis=1)
+
+        def validate() -> None:
+            got = y.as_numpy()
+            if not np.allclose(got, expected, rtol=1e-9, atol=1e-12):
+                raise AssertionError("CG dot products are wrong")
+
+        return PreparedRun(
+            args=[rowstr.base, colidx.base, a.base, x.base, y.base,
+                  self.nrows],
+            validate=validate,
+            iterations=self.nnz * self.repeats)

@@ -1,0 +1,292 @@
+"""Hash Join (HJ-2 / HJ-8) — database probe kernel (§5.1).
+
+Buckets and overflow nodes are padded 4-word records
+``[key0, key1, next, pad]`` (32 bytes, so records never straddle cache
+lines);
+``next`` is an index into the node pool (0 = end of chain, slot 0 is a
+zeroed sentinel).  With two elements per bucket (HJ-2) both keys are
+inline and no chain is walked; with eight (HJ-8) each probe walks the
+bucket plus three chained nodes — four dependent irregular accesses.
+
+The probe loop hashes each key of the outer relation and counts matches
+in the bucket's chain, storing the per-probe count.  The hash is a
+multiplicative one, so the automatic pass must carry arithmetic (not just
+a direct index) into the prefetch code — the pattern the ICC-like
+baseline cannot match.
+
+The chain walk is a data-dependent ``while`` loop: the automatic pass
+correctly refuses to prefetch through its non-induction phi, while the
+*manual* variant exploits the runtime knowledge that every HJ-8 bucket
+has exactly three chained nodes, staggering prefetches across the chain
+(``stagger_depth`` reproduces Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import INT64, VOID, pointer
+from ..ir.values import Constant, Value
+from ..ir.verifier import verify_module
+from ..machine.memory import Memory
+from .base import PreparedRun, Workload
+from .looputil import counted_loop
+
+#: Words per bucket/node record (padded to 32 bytes).
+REC = 4
+#: Odd multiplier: multiplicative hashing, invertible mod 2^bits.
+HASH_MULT = 0x9E3779B97F4A7C15
+#: Slack elements on the probe-key array for unclamped manual look-ahead.
+KEY_SLACK = 2 * 256 + 8
+
+
+class HashJoin(Workload):
+    """Hash-join probe with a configurable bucket occupancy.
+
+    :param elements_per_bucket: 2 (HJ-2, all inline) or 8 (HJ-8, bucket
+        plus three chained nodes); other even values in [2, 8] work too.
+    :param num_buckets: power-of-two bucket count.
+    :param num_probes: probes of the outer relation.
+    """
+
+    def __init__(self, elements_per_bucket: int = 2,
+                 num_buckets: int = 1 << 19, num_probes: int = 20_000,
+                 seed: int = 45):
+        super().__init__(seed)
+        if num_buckets & (num_buckets - 1):
+            raise ValueError("num_buckets must be a power of two")
+        if not 2 <= elements_per_bucket <= 8 or elements_per_bucket % 2:
+            raise ValueError("elements_per_bucket must be even, in [2, 8]")
+        self.epb = elements_per_bucket
+        self.num_buckets = num_buckets
+        self.num_probes = num_probes
+        self.nodes_per_bucket = (elements_per_bucket - 2) // 2
+        # Slot 0 of the pool is the zeroed end-of-chain sentinel.
+        self.pool_size = 1 + self.num_buckets * self.nodes_per_bucket
+        self.name = f"HJ-{elements_per_bucket}"
+
+    # -- IR ---------------------------------------------------------------
+
+    def _new_module(self) -> tuple[Module, IRBuilder]:
+        module = Module(self.name.lower())
+        func = module.create_function(
+            "kernel", VOID,
+            [("keys", pointer(INT64)), ("table", pointer(INT64)),
+             ("nodes", pointer(INT64)), ("out", pointer(INT64)),
+             ("n", INT64)])
+        sizes = {"keys": self.num_probes, "table": self.num_buckets * REC,
+                 "nodes": self.pool_size * REC, "out": self.num_probes}
+        for name, size in sizes.items():
+            arg = func.arg(name)
+            arg.array_size = Constant(INT64, size)
+            arg.noalias = True
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        return module, builder
+
+    def _emit_hash(self, b: IRBuilder, key: Value, tag: str) -> Value:
+        """Bucket index: ``(key * HASH_MULT) & (num_buckets - 1)``."""
+        mixed = b.mul(key, b.const(HASH_MULT), f"{tag}.mul")
+        return b.and_(mixed, b.const(self.num_buckets - 1), f"{tag}.h")
+
+    def _emit_match_count(self, b: IRBuilder, key: Value, k0: Value,
+                          k1: Value, tag: str) -> Value:
+        m0 = b.select(b.cmp("eq", k0, key, f"{tag}.e0"), b.const(1),
+                      b.const(0), f"{tag}.m0")
+        m1 = b.select(b.cmp("eq", k1, key, f"{tag}.e1"), b.const(1),
+                      b.const(0), f"{tag}.m1")
+        return b.add(m0, m1, f"{tag}.cnt")
+
+    def _build(self, manual_lookahead: int | None,
+               stagger_depth: int,
+               uniform_offsets: bool = False) -> Module:
+        module, b = self._new_module()
+        func = module.function("kernel")
+        keys, table = func.arg("keys"), func.arg("table")
+        nodes, out = func.arg("nodes"), func.arg("out")
+        n = func.arg("n")
+
+        def probe_body(b: IRBuilder, i) -> None:
+            if manual_lookahead is not None:
+                self._emit_manual_prefetches(
+                    b, keys, table, nodes, i, manual_lookahead,
+                    stagger_depth, uniform_offsets)
+            key = b.load(b.gep(keys, i, "kp"), "k")
+            h = self._emit_hash(b, key, "h")
+            bidx = b.mul(h, b.const(REC), "bidx")
+            k0 = b.load(b.gep(table, bidx, "b0p"), "b0")
+            k1 = b.load(b.gep(table, b.add(bidx, b.const(1), "bidx1"),
+                              "b1p"), "b1")
+            cnt0 = self._emit_match_count(b, key, k0, k1, "bucket")
+            nidx0 = b.load(b.gep(table, b.add(bidx, b.const(2), "bidx2"),
+                                 "nxp"), "nidx0")
+
+            probe_blk = b.block
+            walk = func.add_block(f"walk{i.name}")
+            done = func.add_block(f"probe.done{i.name}")
+            has_chain = b.cmp("ne", nidx0, b.const(0), "haschain")
+            b.br(has_chain, walk, done)
+
+            b.set_insert_point(walk)
+            nidx = b.phi(INT64, "nidx")
+            wcnt = b.phi(INT64, "wcnt")
+            base = b.mul(nidx, b.const(REC), "nbase")
+            nk0 = b.load(b.gep(nodes, base, "n0p"), "nk0")
+            nk1 = b.load(b.gep(nodes, b.add(base, b.const(1), "nb1"),
+                               "n1p"), "nk1")
+            add = self._emit_match_count(b, key, nk0, nk1, "node")
+            wcnt_next = b.add(wcnt, add, "wcnt.next")
+            nn = b.load(b.gep(nodes, b.add(base, b.const(2), "nb2"),
+                              "nnp"), "nn")
+            more = b.cmp("ne", nn, b.const(0), "more")
+            b.br(more, walk, done)
+            nidx.add_incoming(nidx0, probe_blk)
+            nidx.add_incoming(nn, walk)
+            wcnt.add_incoming(cnt0, probe_blk)
+            wcnt.add_incoming(wcnt_next, walk)
+
+            b.set_insert_point(done)
+            total = b.phi(INT64, "total")
+            total.add_incoming(cnt0, probe_blk)
+            total.add_incoming(wcnt_next, walk)
+            b.store(total, b.gep(out, i, "op"))
+
+        counted_loop(b, func, 0, n, probe_body, "probe")
+        b.ret()
+        verify_module(module)
+        return module
+
+    def _emit_manual_prefetches(self, b: IRBuilder, keys, table, nodes,
+                                i, lookahead: int, depth: int,
+                                uniform_offsets: bool = False) -> None:
+        """Staggered manual prefetches (HJ-8 description in §5.1).
+
+        The chain has up to five loads (probe key, bucket, three nodes);
+        the prefetch for chain position ``l`` runs ``c*(t-l)/t``
+        iterations ahead, re-walking the chain prefix with real loads
+        that hit the cache thanks to the earlier, farther prefetches.
+        ``depth`` counts the dependent (non-stride) loads prefetched —
+        the Fig. 7 x-axis.
+        """
+        chain = 1 + self.nodes_per_bucket  # bucket + chained nodes
+        depth = min(depth, chain)
+        t = 1 + chain  # plus the probe-key stride load
+        if uniform_offsets:
+            # Ablation: every prefetch at the same distance — the
+            # re-walked intermediate loads then race their own fills.
+            offsets = [lookahead] * t
+        else:
+            offsets = [max(1, lookahead * (t - l) // t) for l in range(t)]
+
+        # Stride prefetch of the probe-key array.
+        ahead0 = b.add(i, b.const(offsets[0]), "pfk.i")
+        b.prefetch(b.gep(keys, ahead0, "pfk.p"))
+
+        for level in range(1, depth + 1):
+            off = offsets[level]
+            ahead = b.add(i, b.const(off), f"pf{level}.i")
+            key = b.load(b.gep(keys, ahead, f"pf{level}.kp"),
+                         f"pf{level}.k")
+            h = self._emit_hash(b, key, f"pf{level}")
+            bidx = b.mul(h, b.const(REC), f"pf{level}.bidx")
+            if level == 1:
+                b.prefetch(b.gep(table, bidx, f"pf{level}.p"))
+                continue
+            # Re-walk level-2 chain links with real (cached) loads.
+            cursor = b.load(
+                b.gep(table, b.add(bidx, b.const(2), f"pf{level}.b2"),
+                      f"pf{level}.nxp"), f"pf{level}.n0")
+            for hop in range(level - 2):
+                nbase = b.mul(cursor, b.const(REC), f"pf{level}.h{hop}b")
+                cursor = b.load(
+                    b.gep(nodes, b.add(nbase, b.const(2),
+                                       f"pf{level}.h{hop}o"),
+                          f"pf{level}.h{hop}p"), f"pf{level}.h{hop}n")
+            nbase = b.mul(cursor, b.const(REC), f"pf{level}.nb")
+            b.prefetch(b.gep(nodes, nbase, f"pf{level}.p"))
+
+    def build(self) -> Module:
+        return self._build(None, 0)
+
+    def build_manual(self, lookahead: int = 64,
+                     stagger_depth: int | None = None,
+                     uniform_offsets: bool = False,
+                     **_unused) -> Module:
+        if stagger_depth is None:
+            # Fig. 7: three of HJ-8's four dependent loads is optimal.
+            stagger_depth = 1 if self.nodes_per_bucket == 0 else 3
+        return self._build(lookahead, stagger_depth, uniform_offsets)
+
+    # -- data -----------------------------------------------------------------
+
+    def prepare(self, memory: Memory) -> PreparedRun:
+        rng = self.rng
+        nb, per = self.num_buckets, self.epb
+        bits = nb.bit_length() - 1
+        # Multiplicative hashing on the low bits is invertible: pick key
+        # low bits so each bucket receives exactly ``per`` keys.
+        inv = pow(HASH_MULT, -1, nb)
+        low = (np.arange(nb, dtype=np.uint64) * np.uint64(inv)) % nb
+        stored = np.empty((nb, per), dtype=np.uint64)
+        high = rng.integers(1, 1 << 40, size=(nb, per)).astype(np.uint64)
+        stored[:, :] = (high << np.uint64(bits)) | low[:, None]
+
+        table = memory.allocate(8, nb * REC, "table")
+        nodes = memory.allocate(8, self.pool_size * REC, "nodes")
+        table_np = np.zeros(nb * REC, dtype=np.uint64)
+        nodes_np = np.zeros(self.pool_size * REC, dtype=np.uint64)
+        table_np[0::REC] = stored[:, 0]
+        table_np[1::REC] = stored[:, 1]
+        if self.nodes_per_bucket:
+            # Scatter chain nodes across the pool with a permutation so
+            # pointer-chasing is genuinely irregular.
+            perm = rng.permutation(self.pool_size - 1) + 1
+            perm = perm.reshape(nb, self.nodes_per_bucket)
+            table_np[2::REC] = perm[:, 0]
+            for hop in range(self.nodes_per_bucket):
+                slots = perm[:, hop]
+                nodes_np[slots * REC] = stored[:, 2 + 2 * hop]
+                nodes_np[slots * REC + 1] = stored[:, 3 + 2 * hop]
+                if hop + 1 < self.nodes_per_bucket:
+                    nodes_np[slots * REC + 2] = perm[:, hop + 1]
+        table.fill(table_np.astype(np.int64))
+        nodes.fill(nodes_np.astype(np.int64))
+
+        # Probe keys: hit a random stored element of a random bucket.
+        probe_bucket = rng.integers(0, nb, self.num_probes)
+        probe_slot = rng.integers(0, per, self.num_probes)
+        probe = stored[probe_bucket, probe_slot]
+        keys = memory.allocate(8, self.num_probes + KEY_SLACK, "keys")
+        keys.fill(np.concatenate(
+            [probe.astype(np.int64),
+             np.zeros(KEY_SLACK, dtype=np.int64)]))
+        out = memory.allocate(8, self.num_probes, "out")
+
+        expected = (stored[probe_bucket, :] ==
+                    probe[:, None]).sum(axis=1).astype(np.int64)
+
+        def validate() -> None:
+            got = out.as_numpy()
+            if not np.array_equal(got, expected):
+                raise AssertionError(f"{self.name} match counts are wrong")
+
+        return PreparedRun(
+            args=[keys.base, table.base, nodes.base, out.base,
+                  self.num_probes],
+            validate=validate,
+            iterations=self.num_probes)
+
+
+def hj2(num_probes: int = 14_000, seed: int = 45, **kw) -> HashJoin:
+    """HJ-2: two elements per bucket, no chain walk."""
+    return HashJoin(2, num_probes=num_probes, seed=seed, **kw)
+
+
+def hj8(num_probes: int = 8_000, seed: int = 46,
+        num_buckets: int = 1 << 17, **kw) -> HashJoin:
+    """HJ-8: eight elements per bucket — bucket plus three chained
+    nodes per probe."""
+    return HashJoin(8, num_probes=num_probes, num_buckets=num_buckets,
+                    seed=seed, **kw)

@@ -1,0 +1,147 @@
+"""Integer Sort (IS) — NAS Parallel Benchmarks kernel (§5.1).
+
+The timed kernel is the bucket-counting loop::
+
+    for (i = 0; i < n; i++)
+        key_buff1[key_buff2[i]]++;
+
+a pure stride-indirect: sequential walk of ``key_buff2`` with a
+data-dependent increment into ``key_buff1``.  The manual variant inserts
+the two staggered prefetches of the paper's code listing 1 — the
+"intuitive" indirect prefetch *and* the stride prefetch of the key array
+itself — with configurable offsets (Fig. 2 sweeps them).
+
+Arrays carry compile-time size annotations, mirroring the NAS reference
+implementation's statically sized global arrays (this is what lets the
+ICC-like baseline pass prove safety on IS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import INT64, VOID, pointer
+from ..ir.values import Constant
+from ..ir.verifier import verify_module
+from ..machine.memory import Memory
+from .base import PreparedRun, Workload
+from .looputil import counted_loop
+
+#: Slack elements appended to the key array so *manual* (unclamped)
+#: look-ahead loads stay in bounds, as C programs rely on allocation
+#: slack.  The compiler passes never use the slack: their size
+#: annotations cover only the first ``n`` elements.
+KEY_SLACK = 2 * 256 + 8
+
+
+class IntegerSort(Workload):
+    """NAS IS bucket counting.
+
+    :param num_keys: keys processed (NAS class B uses 2^25; scaled down
+        to keep simulation time reasonable — the access pattern, not the
+        trip count, is what matters).
+    :param num_buckets: bucket-array length; sized so the bucket array
+        exceeds every simulated last-level cache (16 MiB by default).
+    """
+
+    name = "IS"
+
+    def __init__(self, num_keys: int = 20_000,
+                 num_buckets: int = 1 << 21, seed: int = 42):
+        super().__init__(seed)
+        self.num_keys = num_keys
+        self.num_buckets = num_buckets
+
+    # -- IR ----------------------------------------------------------------
+
+    def _new_module(self) -> tuple[Module, IRBuilder]:
+        module = Module("is")
+        func = module.create_function(
+            "kernel", VOID,
+            [("keys", pointer(INT64)), ("buckets", pointer(INT64)),
+             ("n", INT64)])
+        keys = func.arg("keys")
+        keys.array_size = Constant(INT64, self.num_keys)
+        keys.noalias = True
+        buckets = func.arg("buckets")
+        buckets.array_size = Constant(INT64, self.num_buckets)
+        buckets.noalias = True
+        builder = IRBuilder()
+        builder.set_insert_point(func.add_block("entry"))
+        return module, builder
+
+    def build(self) -> Module:
+        module, b = self._new_module()
+        func = module.function("kernel")
+        keys, n = func.arg("keys"), func.arg("n")
+        buckets = func.arg("buckets")
+
+        def body(b: IRBuilder, i) -> None:
+            key = b.load(b.gep(keys, i, "p"), "k")
+            slot = b.gep(buckets, key, "bp")
+            b.store(b.add(b.load(slot, "bv"), b.const(1), "inc"), slot)
+
+        counted_loop(b, func, 0, n, body, "count")
+        b.ret()
+        verify_module(module)
+        return module
+
+    def build_manual(self, lookahead: int = 64, *,
+                     include_stride: bool = True,
+                     include_indirect: bool = True) -> Module:
+        """Code listing 1: staggered manual prefetches.
+
+        :param include_stride: emit ``SWPF(key_buff2[i + c])`` (line 6 of
+            the listing; dropping it gives Fig. 2's "intuitive" scheme).
+        :param include_indirect: emit
+            ``SWPF(key_buff1[key_buff2[i + c/2]])`` (line 4).
+        """
+        module, b = self._new_module()
+        func = module.function("kernel")
+        keys, n = func.arg("keys"), func.arg("n")
+        buckets = func.arg("buckets")
+        indirect_off = max(1, lookahead // 2)
+
+        def body(b: IRBuilder, i) -> None:
+            if include_indirect:
+                # SWPF(key_buff1[key_buff2[i + offset]]); the look-ahead
+                # read relies on allocation slack, as the paper's manual
+                # code does.
+                ahead = b.add(i, b.const(indirect_off), "i.pf")
+                future_key = b.load(b.gep(keys, ahead, "p.pf"), "k.pf")
+                b.prefetch(b.gep(buckets, future_key, "bp.pf"))
+            if include_stride:
+                # SWPF(key_buff2[i + offset*2]);
+                ahead2 = b.add(i, b.const(lookahead), "i.pf2")
+                b.prefetch(b.gep(keys, ahead2, "p.pf2"))
+            key = b.load(b.gep(keys, i, "p"), "k")
+            slot = b.gep(buckets, key, "bp")
+            b.store(b.add(b.load(slot, "bv"), b.const(1), "inc"), slot)
+
+        counted_loop(b, func, 0, n, body, "count")
+        b.ret()
+        verify_module(module)
+        return module
+
+    # -- data ----------------------------------------------------------------
+
+    def prepare(self, memory: Memory) -> PreparedRun:
+        keys_values = self.rng.integers(
+            0, self.num_buckets, self.num_keys)
+        keys = memory.allocate(8, self.num_keys + KEY_SLACK, "keys")
+        keys.fill(np.concatenate(
+            [keys_values, np.zeros(KEY_SLACK, dtype=np.int64)]))
+        buckets = memory.allocate(8, self.num_buckets, "buckets")
+        expected = np.bincount(keys_values, minlength=self.num_buckets)
+
+        def validate() -> None:
+            got = buckets.as_numpy()
+            if not np.array_equal(got, expected):
+                raise AssertionError("IS bucket counts are wrong")
+
+        return PreparedRun(
+            args=[keys.base, buckets.base, self.num_keys],
+            validate=validate,
+            iterations=self.num_keys)

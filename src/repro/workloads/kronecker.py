@@ -1,0 +1,105 @@
+"""Kronecker (R-MAT) graph generation, as used by Graph500.
+
+Generates edges with the Graph500 reference initiator probabilities
+(A=0.57, B=0.19, C=0.19, D=0.05), fully vectorised with numpy, then
+builds a compressed-sparse-row adjacency (``xoff``/``xadj``).  Vertex
+labels are randomly permuted so vertex degree does not correlate with
+vertex id — the same step the reference generator performs to stop
+locality from leaking into the CSR layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """A graph in compressed-sparse-row form.
+
+    :ivar xoff: vertex offsets, length ``num_vertices + 1``.
+    :ivar xadj: edge targets, length ``2 * num_edges`` (undirected).
+    """
+
+    num_vertices: int
+    xoff: np.ndarray
+    xadj: np.ndarray
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Entries in ``xadj``."""
+        return int(self.xadj.shape[0])
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        return int(self.xoff[v + 1] - self.xoff[v])
+
+
+def generate_kronecker(scale: int, edge_factor: int = 10,
+                       seed: int = 1, a: float = 0.57, b: float = 0.19,
+                       c: float = 0.19) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    :param edge_factor: undirected edges per vertex (Graph500 uses 16;
+        the paper runs ``-e 10``).
+    :returns: the CSR form with both edge directions present.
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    num_edges = n * edge_factor
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    a_norm = a / ab
+    for bit in range(scale):
+        r1 = rng.random(num_edges)
+        r2 = rng.random(num_edges)
+        src_bit = (r1 > ab).astype(np.int64)
+        dst_bit = np.where(src_bit == 1,
+                           (r2 > c_norm).astype(np.int64),
+                           (r2 > a_norm).astype(np.int64))
+        src |= src_bit << bit
+        dst |= dst_bit << bit
+
+    # Permute vertex labels (de-correlates degree and id).
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+
+    # Drop self-loops, symmetrise, and build CSR.
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    order = np.argsort(all_src, kind="stable")
+    all_src, all_dst = all_src[order], all_dst[order]
+    counts = np.bincount(all_src, minlength=n)
+    xoff = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=xoff[1:])
+    return CSRGraph(num_vertices=n, xoff=xoff,
+                    xadj=all_dst.astype(np.int64))
+
+
+def bfs_reference(graph: CSRGraph, root: int) -> np.ndarray:
+    """Host-side BFS producing the parent array (−1 = unreached).
+
+    Matches the kernel's traversal order (FIFO frontier, edges scanned in
+    CSR order), so parents agree exactly, not just level-wise.
+    """
+    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = [root]
+    xoff, xadj = graph.xoff, graph.xadj
+    while frontier:
+        next_frontier = []
+        for v in frontier:
+            for e in range(xoff[v], xoff[v + 1]):
+                w = int(xadj[e])
+                if parent[w] < 0:
+                    parent[w] = v
+                    next_frontier.append(w)
+        frontier = next_frontier
+    return parent

@@ -1,0 +1,66 @@
+"""Helpers for building the common counted-loop shape in IR.
+
+Kernels use the guarded rotated form Clang emits at ``-O3``::
+
+    pre:   if (n <= start) goto exit
+    loop:  i = phi [start, pre], [i+1, loop]
+           <body>
+           i.next = i + 1
+           if (i.next < n) goto loop
+    exit:
+
+which gives the induction-variable analysis a canonical IV with a single
+exit condition — the shape §4.2's loop-bound fallback requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.basicblock import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import Phi
+from ..ir.types import INT64
+from ..ir.values import Value
+
+
+def counted_loop(builder: IRBuilder, func: Function, start: Value | int,
+                 end: Value, body: Callable[[IRBuilder, Phi], None],
+                 name: str = "loop",
+                 after: BasicBlock | None = None) -> BasicBlock:
+    """Emit a counted loop at the builder's current position.
+
+    :param start: first induction value (int or i64 value).
+    :param end: exclusive upper bound (i64 value).
+    :param body: callback invoked with (builder, iv) to fill the body;
+        the builder is positioned inside the loop block.
+    :param name: prefix for the generated block names.
+    :param after: the block control falls into once the loop exits; a new
+        one is created if omitted.
+    :returns: the block following the loop (insert point is moved there).
+    """
+    if isinstance(start, int):
+        start = builder.const(start)
+    loop = func.add_block(f"{name}.body")
+    done = after if after is not None else func.add_block(f"{name}.done")
+
+    guard = builder.cmp("slt", start, end, f"{name}.guard")
+    builder.br(guard, loop, done)
+    pre = builder.block
+
+    builder.set_insert_point(loop)
+    iv = builder.phi(INT64, f"{name}.i")
+    body(builder, iv)
+    # The body may have moved the insert point (nested loops); the latch
+    # lives wherever construction ended up.
+    iv_next = builder.add(iv, builder.const(1), f"{name}.i.next")
+    cond = builder.cmp("slt", iv_next, end, f"{name}.cond")
+    builder.br(cond, loop, done)
+    latch = builder.block
+
+    iv.add_incoming(start, pre)
+    iv.add_incoming(iv_next, latch)
+
+    builder.set_insert_point(done)
+    return done

@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.ir import parse_module, verify_module
+
+SOURCE = """
+void histogram(long* restrict keys, long* restrict buckets, long n) {
+    for (long i = 0; i < n; i++)
+        buckets[keys[i]] += 1;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCompileCommand:
+    def test_plain_compile_prints_ir(self, source_file):
+        code, out = run_cli("compile", source_file)
+        assert code == 0
+        assert "func @histogram" in out
+        assert "prefetch" not in out
+
+    def test_prefetch_flag_inserts_prefetches(self, source_file):
+        code, out = run_cli("compile", source_file, "--prefetch")
+        assert code == 0
+        assert "prefetched %cur" in out
+        assert out.count("prefetch i64*") == 2
+
+    def test_lookahead_flag(self, source_file):
+        code, out = run_cli("compile", source_file, "--prefetch",
+                            "--lookahead", "128")
+        assert code == 0
+        assert "%i, 128" in out
+        assert "%i, 64" in out  # 128/2 for the indirect prefetch
+
+    def test_no_stride_flag(self, source_file):
+        code, out = run_cli("compile", source_file, "--prefetch",
+                            "--no-stride")
+        assert out.count("prefetch i64*") == 1
+
+    def test_emitted_ir_reparses(self, source_file, tmp_path):
+        target = tmp_path / "out.ir"
+        code, out = run_cli("compile", source_file, "--prefetch", "-O",
+                            "--emit-ir", str(target))
+        assert code == 0
+        module = parse_module(target.read_text())
+        verify_module(module)
+
+    def test_optimize_pipeline_runs(self, source_file):
+        code, out = run_cli("compile", source_file, "--prefetch", "-O")
+        assert code == 0
+        # LICM hoisted the clamp bound out of the loop body.
+        ir = out[out.index("func @"):]
+        entry_block = ir.split("for.cond:")[0]
+        assert "pf.bound" in entry_block
+
+    def test_missing_file_error(self, tmp_path):
+        code, _ = run_cli("compile", str(tmp_path / "nope.c"))
+        assert code == 1
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("void f( {")
+        code, _ = run_cli("compile", str(bad))
+        assert code == 1
+
+
+class TestSystemsCommand:
+    def test_lists_all_machines(self):
+        code, out = run_cli("systems")
+        assert code == 0
+        for name in ("Haswell", "A57", "A53", "Xeon Phi"):
+            assert name in out

@@ -1,0 +1,135 @@
+"""Tests for prefetch loop hoisting (§4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (Constant, INT64, IRBuilder, Module, Prefetch, VOID,
+                      pointer, verify_module)
+from repro.machine import Interpreter, Memory
+from repro.passes import IndirectPrefetchPass, PrefetchOptions
+
+
+def build_pointer_chase_in_inner_loop() -> Module:
+    """Outer loop picks a list head from an array; the inner loop chases
+    ``next`` indices — the §4.6 pattern: the *first* node address is
+    computable at the inner loop's preheader."""
+    m = Module("chase")
+    f = m.create_function(
+        "kernel", VOID,
+        [("heads", pointer(INT64)), ("nodes", pointer(INT64)),
+         ("out", pointer(INT64)), ("n", INT64)])
+    for name in ("heads", "nodes", "out"):
+        f.arg(name).noalias = True
+    f.arg("heads").array_size = f.arg("n")
+    b = IRBuilder()
+    entry = f.add_block("entry")
+    outer = f.add_block("outer")
+    preheader = f.add_block("walk.pre")
+    walk = f.add_block("walk")
+    outer_latch = f.add_block("outer.latch")
+    exit_ = f.add_block("exit")
+
+    b.set_insert_point(entry)
+    g = b.cmp("sgt", f.arg("n"), b.const(0), "g")
+    b.br(g, outer, exit_)
+
+    b.set_insert_point(outer)
+    i = b.phi(INT64, "i")
+    head = b.load(b.gep(f.arg("heads"), i, "hp"), "head")
+    has = b.cmp("ne", head, b.const(0), "has")
+    b.br(has, preheader, outer_latch)
+
+    b.set_insert_point(preheader)
+    b.jmp(walk)
+
+    b.set_insert_point(walk)
+    cursor = b.phi(INT64, "cursor")
+    acc = b.phi(INT64, "acc")
+    base = b.mul(cursor, b.const(2), "base")
+    value = b.load(b.gep(f.arg("nodes"), base, "vp"), "value")
+    acc_next = b.add(acc, value, "acc.next")
+    nxt = b.load(b.gep(f.arg("nodes"),
+                       b.add(base, b.const(1), "b1"), "np"), "next")
+    more = b.cmp("ne", nxt, b.const(0), "more")
+    b.br(more, walk, outer_latch)
+    cursor.add_incoming(head, preheader)
+    cursor.add_incoming(nxt, walk)
+    acc.add_incoming(b.const(0), preheader)
+    acc.add_incoming(acc_next, walk)
+
+    b.set_insert_point(outer_latch)
+    total = b.phi(INT64, "total")
+    total.add_incoming(b.const(0), outer)
+    total.add_incoming(acc_next, walk)
+    b.store(total, b.gep(f.arg("out"), i, "op"))
+    i_next = b.add(i, b.const(1), "i.next")
+    c = b.cmp("slt", i_next, f.arg("n"), "c")
+    b.br(c, outer, exit_)
+    i.add_incoming(b.const(0), entry)
+    i.add_incoming(i_next, outer_latch)
+
+    b.set_insert_point(exit_)
+    b.ret()
+    verify_module(m)
+    return m
+
+
+def _run(module, n=40, pool=200, seed=1):
+    rng = np.random.default_rng(seed)
+    mem = Memory()
+    heads = mem.allocate(8, n, "heads")
+    nodes = mem.allocate(8, pool * 2, "nodes")
+    out = mem.allocate(8, n, "out")
+    # Build random chains of length 1-3 over a scattered pool.
+    perm = (rng.permutation(pool - 1) + 1).tolist()
+    cursor = 0
+    for i in range(n):
+        length = int(rng.integers(1, 4))
+        chain = [perm[(cursor + j) % len(perm)] for j in range(length)]
+        cursor += length
+        heads.data[i] = chain[0]
+        for j, node in enumerate(chain):
+            nodes.data[node * 2] = int(rng.integers(1, 100))
+            nodes.data[node * 2 + 1] = chain[j + 1] if j + 1 < length \
+                else 0
+    Interpreter(module, mem).run(
+        "kernel", [heads.base, nodes.base, out.base, n])
+    return list(out.data)
+
+
+class TestHoisting:
+    def test_disabled_by_default(self):
+        module = build_pointer_chase_in_inner_loop()
+        report = IndirectPrefetchPass().run(module)
+        assert not any(f.hoisted for f in report.functions)
+
+    def test_hoists_first_node_prefetch(self):
+        module = build_pointer_chase_in_inner_loop()
+        report = IndirectPrefetchPass(
+            PrefetchOptions(enable_hoisting=True)).run(module)
+        verify_module(module)
+        hoisted = [h for f in report.functions for h in f.hoisted]
+        assert hoisted
+        func = module.function("kernel")
+        pre = func.block("walk.pre")
+        assert any(isinstance(i, Prefetch) for i in pre)
+
+    def test_hoisting_preserves_semantics(self):
+        plain = build_pointer_chase_in_inner_loop()
+        transformed = build_pointer_chase_in_inner_loop()
+        IndirectPrefetchPass(
+            PrefetchOptions(enable_hoisting=True)).run(transformed)
+        assert _run(plain) == _run(transformed)
+
+    def test_hoisting_on_hj8_is_safe(self):
+        from repro.workloads import hj8
+        from repro.machine import Memory as Mem
+        wl = hj8(num_probes=300, num_buckets=1 << 8)
+        module = wl.build()
+        IndirectPrefetchPass(
+            PrefetchOptions(enable_hoisting=True)).run(module)
+        verify_module(module)
+        memory = Mem()
+        prepared = wl.prepare(memory)
+        Interpreter(module, memory).run(wl.entry, prepared.args)
+        prepared.validate()

@@ -1,0 +1,118 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (FLOAT32, FLOAT64, INT1, INT8, INT16, INT32,
+                            INT64, VOID, FloatType, FunctionType, IntType,
+                            PointerType, VoidType, parse_type, pointer)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert INT8.size == 1
+        assert INT16.size == 2
+        assert INT32.size == 4
+        assert INT64.size == 8
+
+    def test_i1_size_is_one_byte(self):
+        assert INT1.size == 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(7)
+
+    def test_range_bounds(self):
+        assert INT8.min_value == -128
+        assert INT8.max_value == 127
+        assert INT64.max_value == 2**63 - 1
+
+    def test_wrap_positive_overflow(self):
+        assert INT8.wrap(128) == -128
+        assert INT8.wrap(255) == -1
+        assert INT8.wrap(256) == 0
+
+    def test_wrap_negative(self):
+        assert INT8.wrap(-129) == 127
+
+    def test_wrap_identity_in_range(self):
+        assert INT32.wrap(12345) == 12345
+        assert INT32.wrap(-12345) == -12345
+
+    @given(st.integers())
+    def test_wrap_always_in_range(self, value):
+        wrapped = INT32.wrap(value)
+        assert INT32.min_value <= wrapped <= INT32.max_value
+
+    @given(st.integers(), st.integers())
+    def test_wrap_is_congruent_mod_2n(self, a, b):
+        # Wrapping preserves congruence classes modulo 2^bits.
+        if (a - b) % (1 << 32) == 0:
+            assert INT32.wrap(a) == INT32.wrap(b)
+
+    def test_structural_equality(self):
+        assert IntType(32) == INT32
+        assert IntType(32) != INT64
+        assert hash(IntType(32)) == hash(INT32)
+
+
+class TestFloatAndPointer:
+    def test_float_sizes(self):
+        assert FLOAT32.size == 4
+        assert FLOAT64.size == 8
+
+    def test_bad_float_width(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_pointer_size_is_8(self):
+        assert pointer(INT32).size == 8
+        assert pointer(pointer(INT32)).size == 8
+
+    def test_pointer_equality_structural(self):
+        assert pointer(INT32) == PointerType(IntType(32))
+        assert pointer(INT32) != pointer(INT64)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ValueError):
+            _ = VOID.size
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = FunctionType(INT64, (INT32, pointer(INT8)))
+        assert str(ft) == "i64 (i32, i8*)"
+
+    def test_equality(self):
+        a = FunctionType(VOID, (INT64,))
+        b = FunctionType(VOID, (INT64,))
+        assert a == b
+
+    def test_no_storage_size(self):
+        with pytest.raises(ValueError):
+            _ = FunctionType(VOID, ()).size
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i1", INT1), ("i8", INT8), ("i32", INT32), ("i64", INT64),
+        ("f32", FLOAT32), ("f64", FLOAT64), ("void", VOID),
+        ("i64*", pointer(INT64)),
+        ("i32**", pointer(pointer(INT32))),
+        ("f64*", pointer(FLOAT64)),
+    ])
+    def test_roundtrip(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize("text", ["i64", "f32", "i8*", "i16**"])
+    def test_str_then_parse_is_identity(self, text):
+        assert str(parse_type(text)) == text
+
+    @pytest.mark.parametrize("bad", ["int", "i3", "void*", "", "x64"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_type(bad)

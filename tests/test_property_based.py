@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The central property: for randomly generated indirect-access kernels and
+random pass configurations, the prefetch pass never changes architectural
+results and never introduces faults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import (Constant, INT64, parse_module, print_module,
+                      verify_module)
+from repro.machine import Cache, Interpreter, Memory
+from repro.passes import (ConstantFoldingPass, DeadCodeEliminationPass,
+                          IndirectPrefetchPass, PrefetchOptions)
+from tests.conftest import build_indirect_kernel
+
+
+class TestPassEquivalence:
+    """The pass is semantics-preserving on a family of random kernels."""
+
+    @staticmethod
+    def _random_kernel_source(ops: list[str]) -> str:
+        """A kernel whose indirect index goes through a random pure
+        arithmetic pipeline (like RA's hash)."""
+        lines = []
+        expr = "k"
+        for i, op in enumerate(ops):
+            if op == "xorshift":
+                lines.append(f"long t{i} = {expr} ^ ({expr} >> 9);")
+            elif op == "mul":
+                lines.append(f"long t{i} = {expr} * 2654435761;")
+            elif op == "add":
+                lines.append(f"long t{i} = {expr} + 12345;")
+            elif op == "shl":
+                lines.append(f"long t{i} = {expr} << 3;")
+            expr = f"t{i}"
+        body = "\n                ".join(lines)
+        return f"""
+        void kernel(long* restrict keys, long* restrict table, long n) {{
+            for (long i = 0; i < n; i++) {{
+                long k = keys[i];
+                {body}
+                long slot = {expr} & 1023;
+                table[slot] += 1;
+            }}
+        }}
+        """
+
+    @given(ops=st.lists(st.sampled_from(
+        ["xorshift", "mul", "add", "shl"]), min_size=0, max_size=4),
+        lookahead=st.integers(1, 128),
+        n=st.integers(1, 200),
+        stride=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_random_hash_kernels_equivalent(self, ops, lookahead, n,
+                                            stride):
+        source = self._random_kernel_source(ops)
+
+        def run(transform: bool) -> list[int]:
+            module = compile_source(source)
+            if transform:
+                IndirectPrefetchPass(PrefetchOptions(
+                    lookahead=lookahead,
+                    emit_stride_prefetch=stride)).run(module)
+            verify_module(module)
+            mem = Memory()
+            keys = mem.allocate(8, max(n, 1), "keys")
+            rng = np.random.default_rng(7)
+            keys.fill(rng.integers(0, 2**40, n))
+            table = mem.allocate(8, 1024, "table")
+            Interpreter(module, mem).run(
+                "kernel", [keys.base, table.base, n])
+            return list(table.data)
+
+        assert run(False) == run(True)
+
+    @given(lookahead=st.integers(1, 300), n=st.integers(1, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_clamp_never_faults(self, lookahead, n):
+        module = build_indirect_kernel(num_buckets=512)
+        IndirectPrefetchPass(
+            PrefetchOptions(lookahead=lookahead)).run(module)
+        mem = Memory()
+        keys = mem.allocate(8, n, "keys")
+        rng = np.random.default_rng(0)
+        keys.fill(rng.integers(0, 512, n))
+        buckets = mem.allocate(8, 512, "buckets")
+        # Must complete without MemoryFault despite arbitrary look-ahead.
+        Interpreter(module, mem).run(
+            "kernel", [keys.base, buckets.base, n])
+
+
+class TestRoundTripProperties:
+    @given(st.lists(st.sampled_from(
+        ["add", "sub", "mul", "and", "or", "xor"]),
+        min_size=1, max_size=6),
+        st.lists(st.integers(-2**40, 2**40), min_size=6, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_print_parse_execute_identical(self, ops, constants):
+        lines = ["func @f(%x: i64) -> i64 {", "entry:"]
+        prev = "%x"
+        for i, (op, c) in enumerate(zip(ops, constants)):
+            lines.append(f"  %v{i} = {op} i64 {prev}, {c}")
+            prev = f"%v{i}"
+        lines += [f"  ret i64 {prev}", "}"]
+        text = "\n".join(lines)
+        module = parse_module(text)
+        verify_module(module)
+        reparsed = parse_module(print_module(module))
+        x = constants[0] | 1
+        a = Interpreter(module).run("f", [x]).value
+        b = Interpreter(reparsed).run("f", [x]).value
+        assert a == b
+
+    @given(st.integers(-2**63, 2**63 - 1), st.integers(0, 63))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_semantics_match_hardware(self, value, amount):
+        text = f"""
+        func @f(%x: i64) -> i64 {{
+        entry:
+          %l = lshr i64 %x, {amount}
+          %a = ashr i64 %x, {amount}
+          %d = sub i64 %l, %a
+          ret i64 %d
+        }}
+        """
+        result = Interpreter(parse_module(text)).run("f", [value]).value
+        mask = (1 << 64) - 1
+        expected_l = (value & mask) >> amount
+        expected_a = value >> amount
+        expected = ((expected_l - expected_a) & mask)
+        if expected >= 1 << 63:
+            expected -= 1 << 64
+        assert result == expected
+
+
+class TestConstantFoldingProperty:
+    @given(st.integers(-2**62, 2**62), st.integers(-2**62, 2**62),
+           st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                            "shl", "lshr", "ashr"]))
+    @settings(max_examples=60, deadline=None)
+    def test_fold_agrees_with_interpreter(self, a, b, op):
+        text = f"""
+        func @f() -> i64 {{
+        entry:
+          %r = {op} i64 {a}, {b}
+          ret i64 %r
+        }}
+        """
+        interpreted = Interpreter(parse_module(text)).run("f", []).value
+        module = parse_module(text)
+        ConstantFoldingPass().run(module)
+        ret = module.function("f").entry.terminator
+        assert isinstance(ret.value, Constant)
+        assert ret.value.value == interpreted
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_lru_stack_property(self, accesses):
+        """A hit in a small LRU cache implies a hit in a bigger one with
+        the same associativity-per-set structure (inclusion property
+        holds for fully-associative LRU)."""
+        small = Cache("s", 8 * 64, 8, 64, 1)    # 8 lines, 1 set
+        large = Cache("l", 16 * 64, 16, 64, 1)  # 16 lines, 1 set
+        for line in accesses:
+            small_hit = small.lookup(line) is not None
+            large_hit = large.lookup(line) is not None
+            assert not (small_hit and not large_hit)
+            small.insert(line, 0.0)
+            large.insert(line, 0.0)
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rehit(self, accesses):
+        cache = Cache("c", 4096, 4, 64, 1)
+        for line in accesses:
+            cache.insert(line, 0.0)
+            assert cache.lookup(line) is not None
+
+
+class TestTimingMonotonicity:
+    @given(st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_more_dram_latency_never_speeds_up(self, scale):
+        from dataclasses import replace
+        from repro.machine import A53
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 14, 400)
+
+        def cycles(latency):
+            module = build_indirect_kernel(num_buckets=1 << 14)
+            config = replace(A53, dram_latency=latency)
+            mem = Memory()
+            keys = mem.allocate(8, 400, "keys")
+            keys.fill(values)
+            buckets = mem.allocate(8, 1 << 14, "buckets")
+            interp = Interpreter(module, mem, machine=config)
+            return interp.run("kernel",
+                              [keys.base, buckets.base, 400]).cycles
+
+        assert cycles(100 * scale) >= cycles(50)

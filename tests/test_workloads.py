@@ -1,0 +1,255 @@
+"""Workload tests: every benchmark validates under every variant.
+
+These run at small sizes in functional (untimed) mode, checking that the
+kernels compute correct results and that the passes transform each one
+the way §6.1 of the paper describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import Load, Prefetch, verify_module
+from repro.machine import Interpreter, Memory
+from repro.passes import (IndirectPrefetchPass, PrefetchOptions,
+                          RejectReason, StrideIndirectBaselinePass)
+from repro.workloads import (ConjugateGradient, Graph500, HashJoin,
+                             IntegerSort, RandomAccess, bfs_reference,
+                             generate_kronecker, hj2, hj8,
+                             paper_benchmarks)
+
+SMALL = {
+    "IS": lambda: IntegerSort(num_keys=1500, num_buckets=1 << 12),
+    "CG": lambda: ConjugateGradient(nrows=60, row_nnz=6, x_size=512,
+                                    repeats=2),
+    "RA": lambda: RandomAccess(nblocks=4, table_size=1 << 12),
+    "HJ-2": lambda: hj2(num_probes=800, num_buckets=1 << 10),
+    "HJ-8": lambda: hj8(num_probes=400, num_buckets=1 << 8),
+    "G500": lambda: Graph500(scale=8, edge_factor=6),
+}
+
+
+def run_functional(workload, variant, **knobs):
+    module = workload.build_variant(variant, **knobs)
+    verify_module(module)
+    memory = Memory()
+    prepared = workload.prepare(memory)
+    Interpreter(module, memory).run(workload.entry, prepared.args)
+    prepared.validate()
+    return module
+
+
+@pytest.mark.parametrize("name", list(SMALL))
+@pytest.mark.parametrize("variant", ["plain", "auto", "manual", "icc"])
+def test_variant_correctness(name, variant):
+    """Every workload computes correct results under every variant."""
+    run_functional(SMALL[name](), variant)
+
+
+@pytest.mark.parametrize("name", list(SMALL))
+@pytest.mark.parametrize("lookahead", [1, 4, 64, 256])
+def test_auto_correct_for_any_lookahead(name, lookahead):
+    run_functional(SMALL[name](), "auto", lookahead=lookahead)
+
+
+class TestIntegerSort:
+    def test_auto_chain_shape(self):
+        module = SMALL["IS"]().build()
+        report = IndirectPrefetchPass().run(module)
+        (acc,) = report.accepted
+        assert acc.num_loads == 2
+        assert [s.offset for s in acc.schedules] == [64, 32]
+
+    def test_icc_catches_is(self):
+        module = SMALL["IS"]().build()
+        report = StrideIndirectBaselinePass().run(module)
+        assert report.num_prefetches == 1
+
+    def test_manual_schemes(self):
+        wl = SMALL["IS"]()
+        for knobs in (dict(include_stride=False),
+                      dict(include_indirect=False),
+                      dict(include_stride=True, include_indirect=True)):
+            run_functional(wl, "manual", **knobs)
+
+    def test_fig2_intuitive_has_one_prefetch(self):
+        module = SMALL["IS"]().build_manual(include_stride=False)
+        f = module.function("kernel")
+        assert sum(1 for i in f.instructions()
+                   if isinstance(i, Prefetch)) == 1
+
+
+class TestConjugateGradient:
+    def test_auto_accepts_inner_chain(self):
+        module = SMALL["CG"]().build()
+        report = IndirectPrefetchPass().run(module)
+        accepted_names = {a.load.name for a in report.accepted}
+        assert "xv" in accepted_names
+
+    def test_non_canonical_iv_handled(self):
+        # The inner IV starts at rowstr[i]; the pass must still work.
+        module = SMALL["CG"]().build()
+        report = IndirectPrefetchPass(
+            PrefetchOptions(require_canonical_iv=True)).run(module)
+        assert not report.accepted  # prototype restriction refuses it
+        module2 = SMALL["CG"]().build()
+        report2 = IndirectPrefetchPass().run(module2)
+        assert report2.accepted
+
+    def test_repeats_affect_iterations(self):
+        wl = ConjugateGradient(nrows=10, row_nnz=4, x_size=128,
+                               repeats=3)
+        memory = Memory()
+        prepared = wl.prepare(memory)
+        assert prepared.iterations == 10 * 4 * 3
+
+
+class TestRandomAccess:
+    def test_auto_covers_update_loop_only(self):
+        module = SMALL["RA"]().build()
+        report = IndirectPrefetchPass().run(module)
+        assert any(a.clamp.source == "argument" for a in report.accepted)
+
+    def test_icc_misses_hash(self):
+        module = SMALL["RA"]().build()
+        assert StrideIndirectBaselinePass().run(module).num_prefetches == 0
+
+    def test_mix_function_reference_matches_ir(self):
+        from repro.workloads.random_access import _mix64
+        # One block; if the host-side reference diverged from the IR
+        # semantics, validation in run_functional would fail.
+        run_functional(RandomAccess(nblocks=1, table_size=1 << 10),
+                       "plain")
+        assert _mix64(0) == 0
+
+
+class TestHashJoin:
+    @staticmethod
+    def _alloc(memory, name):
+        return next(a for a in memory.allocations if a.name == name)
+
+    def test_hj2_no_chain_walked(self):
+        wl = SMALL["HJ-2"]()
+        memory = Memory()
+        wl.prepare(memory)
+        table = self._alloc(memory, "table")
+        # Every bucket's next pointer is the end-of-chain sentinel.
+        assert all(v == 0 for v in table.data[2::4])
+
+    def test_hj8_every_bucket_has_three_nodes(self):
+        wl = SMALL["HJ-8"]()
+        memory = Memory()
+        wl.prepare(memory)
+        table = self._alloc(memory, "table")
+        nodes = self._alloc(memory, "nodes")
+        heads = table.data[2::4]
+        assert all(h != 0 for h in heads)
+        # Walk one chain fully.
+        node = heads[0]
+        hops = 0
+        while node != 0:
+            node = nodes.data[node * 4 + 2]
+            hops += 1
+        assert hops == 3
+
+    def test_auto_rejects_chain_walk(self):
+        module = SMALL["HJ-8"]().build()
+        report = IndirectPrefetchPass().run(module)
+        reasons = {r.reason for f in report.functions for r in f.rejected}
+        assert RejectReason.NON_INDUCTION_PHI in reasons
+        # The bucket loads are still prefetched.
+        assert report.accepted
+
+    def test_manual_stagger_depths(self):
+        wl = SMALL["HJ-8"]()
+        for depth in (1, 2, 3, 4):
+            module = run_functional(wl, "manual", stagger_depth=depth)
+            f = module.function("kernel")
+            pf = sum(1 for i in f.instructions()
+                     if isinstance(i, Prefetch))
+            assert pf == 1 + depth  # stride + staggered chain
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            HashJoin(3)
+        with pytest.raises(ValueError):
+            HashJoin(2, num_buckets=1000)
+
+
+class TestGraph500:
+    def test_auto_report_matches_paper_story(self):
+        module = SMALL["G500"]().build()
+        report = IndirectPrefetchPass().run(module)
+        level_report = next(f for f in report.functions
+                            if f.function.name == "bfs_level")
+        accepted = {a.load.name for a in level_report.accepted}
+        # Work->vertex chains (lo/hi) and edge->parent chain (pw) are
+        # picked up...
+        assert "pw" in accepted
+        assert accepted & {"lo", "hi"}
+        # ...but the edge-list load itself is a plain stride under the
+        # innermost IV and is left to the hardware prefetcher (the §6.1
+        # "cannot pick up prefetches to the edge list" limitation).
+        rejected = {r.load.name: r.reason for r in level_report.rejected}
+        assert rejected.get("w") is RejectReason.NOT_INDIRECT
+
+    def test_parent_clamp_uses_loop_bound(self):
+        module = SMALL["G500"]().build()
+        report = IndirectPrefetchPass().run(module)
+        level_report = next(f for f in report.functions
+                            if f.function.name == "bfs_level")
+        pw = next(a for a in level_report.accepted
+                  if a.load.name == "pw")
+        assert pw.clamp.source == "loop"
+
+    def test_bfs_reference_agrees_with_networkx(self):
+        import networkx as nx
+        graph = generate_kronecker(7, 4, seed=3)
+        root = 0
+        while graph.degree(root) == 0:
+            root += 1
+        parent = bfs_reference(graph, root)
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.num_vertices))
+        for v in range(graph.num_vertices):
+            for e in range(graph.xoff[v], graph.xoff[v + 1]):
+                g.add_edge(v, int(graph.xadj[e]))
+        reachable = nx.node_connected_component(g, root)
+        visited = {v for v in range(graph.num_vertices) if parent[v] >= 0}
+        assert visited == reachable
+        # Parent edges must exist in the graph.
+        for v in visited - {root}:
+            assert g.has_edge(v, int(parent[v]))
+
+    def test_kronecker_csr_well_formed(self):
+        graph = generate_kronecker(6, 5, seed=1)
+        assert graph.xoff[0] == 0
+        assert graph.xoff[-1] == graph.num_directed_edges
+        assert (np.diff(graph.xoff) >= 0).all()
+        assert (graph.xadj < graph.num_vertices).all()
+        assert (graph.xadj >= 0).all()
+
+    def test_kronecker_is_symmetric(self):
+        graph = generate_kronecker(5, 4, seed=2)
+        edges = set()
+        for v in range(graph.num_vertices):
+            for e in range(graph.xoff[v], graph.xoff[v + 1]):
+                edges.add((v, int(graph.xadj[e])))
+        assert all((b, a) in edges for (a, b) in edges)
+
+    def test_kronecker_degree_skew(self):
+        # R-MAT graphs are power-law-ish: the max degree far exceeds
+        # the mean.
+        graph = generate_kronecker(10, 8, seed=4)
+        degrees = np.diff(graph.xoff)
+        assert degrees.max() > 5 * degrees.mean()
+
+
+class TestSuiteFactory:
+    def test_paper_benchmarks_names(self):
+        names = [wl.name for wl in paper_benchmarks(small=True)]
+        assert names == ["IS", "CG", "RA", "HJ-2", "HJ-8",
+                         "G500-s16", "G500-s21"]
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            SMALL["IS"]().build_variant("nope")
