@@ -20,6 +20,15 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Scaled-down mode for quick runs.
 SMALL = os.environ.get("REPRO_BENCH_SMALL", "0") == "1"
 
+# Benchmark runs default to the run-result disk cache: re-running a
+# figure with unchanged inputs (and unchanged simulator source — the
+# key hashes it) replays archived results instead of re-simulating.
+# Override with REPRO_SIM_CACHE=0 / a different REPRO_SIM_CACHE_DIR.
+os.environ.setdefault("REPRO_SIM_CACHE", "1")
+os.environ.setdefault(
+    "REPRO_SIM_CACHE_DIR",
+    str(pathlib.Path(__file__).parent.parent / ".sim-cache"))
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:

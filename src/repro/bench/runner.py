@@ -8,13 +8,29 @@ results, and cycle counts from the timed interpreter.
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 
+from ..ir import print_module
 from ..machine.configs import MachineConfig
 from ..machine.interpreter import Interpreter
 from ..machine.memory import Memory
 from ..passes.prefetch import PrefetchOptions
 from ..workloads.base import Workload
+from .cache import RunCache, resolve_run_cache, run_key
+
+#: In-process telemetry: actual simulations vs. cache hits, and total
+#: simulated instructions — read by ``tools/bench_perf.py``.
+TELEMETRY = {"simulated_runs": 0, "cached_runs": 0,
+             "simulated_instructions": 0}
+
+
+def reset_telemetry() -> None:
+    """Zero the run telemetry counters."""
+    for key in TELEMETRY:
+        TELEMETRY[key] = 0
 
 
 @dataclass
@@ -42,18 +58,37 @@ class VariantResult:
 def run_variant(workload: Workload, variant: str, machine: MachineConfig,
                 lookahead: int = 64,
                 options: PrefetchOptions | None = None,
-                validate: bool = True, **manual_knobs) -> VariantResult:
-    """Build, execute, and validate one variant on one machine."""
+                validate: bool = True,
+                cache: RunCache | bool | None = None,
+                **manual_knobs) -> VariantResult:
+    """Build, execute, and validate one variant on one machine.
+
+    :param cache: a :class:`RunCache`, ``True``/``False`` to force the
+        disk cache on/off, or ``None`` to follow ``REPRO_SIM_CACHE``.
+        On a hit, ``prepare`` still runs (it advances the workload's
+        RNG, keeping later runs' inputs — and cache keys — identical to
+        an uncached sequence) but simulation and validation are skipped.
+    """
     module = workload.build_variant(variant, lookahead=lookahead,
                                     options=options, **manual_knobs)
+    run_cache = resolve_run_cache(cache)
+    hit = key = None
+    if run_cache is not None:
+        # Keyed before prepare(): the RNG state at this point, plus the
+        # built IR, pin down the run's inputs exactly.
+        key = run_key(print_module(module), machine, workload, validate)
+        hit = run_cache.get(key)
     memory = Memory(machine.line_size)
     prepared = workload.prepare(memory)
+    if hit is not None:
+        TELEMETRY["cached_runs"] += 1
+        return VariantResult(**hit)
     interp = Interpreter(module, memory, machine=machine)
     result = interp.run(workload.entry, prepared.args)
     if validate:
         prepared.validate()
     ms = result.memory_system
-    return VariantResult(
+    out = VariantResult(
         workload=workload.name,
         variant=variant,
         machine=machine.name,
@@ -65,6 +100,83 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         l1_hit_rate=ms.l1.stats.hit_rate if ms else 0.0,
         dram_accesses=ms.dram.stats.accesses if ms else 0,
         tlb_walks=ms.tlb.stats.misses if ms else 0)
+    TELEMETRY["simulated_runs"] += 1
+    TELEMETRY["simulated_instructions"] += out.instructions
+    if run_cache is not None:
+        run_cache.put(key, dataclasses.asdict(out))
+    return out
+
+
+@dataclass
+class RunSpec:
+    """One deferred :func:`run_variant` call, for :func:`run_specs`."""
+
+    workload: Workload
+    variant: str
+    machine: MachineConfig
+    lookahead: int = 64
+    options: PrefetchOptions | None = None
+    validate: bool = True
+    manual_knobs: dict = field(default_factory=dict)
+
+    def run(self, cache=None) -> VariantResult:
+        """Execute this spec."""
+        return run_variant(self.workload, self.variant, self.machine,
+                           self.lookahead, self.options, self.validate,
+                           cache=cache, **self.manual_knobs)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit > ``REPRO_SIM_JOBS`` > available CPUs."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_SIM_JOBS", "0")) or None
+    if jobs is None:
+        try:
+            jobs = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _run_group(payload) -> list:
+    """Pool worker: run one workload's specs serially, in order."""
+    specs, cache = payload
+    return [spec.run(cache=cache) for spec in specs]
+
+
+def run_specs(specs: list[RunSpec], jobs: int | None = None,
+              cache: RunCache | bool | None = None) -> list[VariantResult]:
+    """Run many specs, fanning out over processes where safe.
+
+    Specs sharing a workload *instance* form a group executed serially
+    in submission order (``prepare`` draws from the instance's shared
+    RNG, so order determines each run's inputs); distinct instances are
+    independent and run in parallel.  Results come back in submission
+    order and are bit-identical to a serial :func:`run_variant` loop.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    groups: dict[int, list[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(id(spec.workload), []).append(i)
+    run_cache = resolve_run_cache(cache)
+    if jobs <= 1 or len(groups) <= 1 or len(specs) <= 1:
+        return [spec.run(cache=run_cache) for spec in specs]
+    payloads = [([specs[i] for i in idxs], run_cache)
+                for idxs in groups.values()]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return [spec.run(cache=run_cache) for spec in specs]
+    results: list = [None] * len(specs)
+    with ctx.Pool(min(jobs, len(payloads))) as pool:
+        for idxs, group in zip(groups.values(),
+                               pool.map(_run_group, payloads)):
+            for i, result in zip(idxs, group):
+                results[i] = result
+    # Child-side telemetry and in-memory cache entries do not propagate
+    # back; disk entries do.
+    return results
 
 
 @dataclass

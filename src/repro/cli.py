@@ -15,6 +15,7 @@ textual IR.  ``systems`` prints the simulated Table 1 machines.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench.reporting import format_table
@@ -59,6 +60,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--emit-ir", metavar="FILE", help="write the final IR to FILE")
 
     sub.add_parser("systems", help="print the simulated machines")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="run one figure's experiment and print its table")
+    bench_cmd.add_argument(
+        "figure", choices=sorted(_FIGURES),
+        help="which figure to reproduce")
+    bench_cmd.add_argument(
+        "--small", action="store_true",
+        help="scaled-down workloads (quick smoke sizes)")
+    bench_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs "
+             "(default: REPRO_SIM_JOBS or the available CPUs)")
+    bench_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the run-result disk cache")
+    bench_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache root (default: REPRO_SIM_CACHE_DIR or .sim-cache)")
     return parser
 
 
@@ -102,6 +122,120 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _fig2(small, jobs):
+    from .bench.experiments import fig2_prefetch_schemes
+    result = fig2_prefetch_schemes(small=small)
+    return format_table(["Scheme", "Speedup"], list(result.items()),
+                        "Fig. 2: prefetch schemes (IS, Haswell)")
+
+
+def _fig4(letter, small, jobs):
+    from .bench.experiments import fig4_geomeans, fig4_system
+    from .machine import A53, A57, HASWELL, XEON_PHI
+    machine = {"a": HASWELL, "b": A57, "c": A53, "d": XEON_PHI}[letter]
+    include_icc = letter == "d"
+    rows = fig4_system(machine, include_icc=include_icc, small=small,
+                       jobs=jobs)
+    gm = fig4_geomeans(rows)
+    headers = ["Benchmark", "Autogenerated", "Manual"]
+    body = [[r.benchmark, r.auto, r.manual] for r in rows]
+    tail = ["Geomean", gm["auto"], gm["manual"]]
+    if include_icc:
+        headers.append("ICC-generated")
+        for row, r in zip(body, rows):
+            row.append(r.icc)
+        tail.append(gm["icc"])
+    return format_table(headers, body + [tail],
+                        f"Fig. 4({letter}): speedups on {machine.name}")
+
+
+def _fig5(small, jobs):
+    from .bench.experiments import fig5_stride_contribution
+    rows = fig5_stride_contribution(small=small, jobs=jobs)
+    return format_table(
+        ["Benchmark", "Indirect only", "Indirect + stride"],
+        [[r["benchmark"], r["indirect_only"], r["indirect_plus_stride"]]
+         for r in rows],
+        "Fig. 5: stride-prefetch contribution (Haswell)")
+
+
+def _fig6(small, jobs):
+    from .bench.reporting import format_series
+    from .bench.experiments import (LOOKAHEAD_SWEEP,
+                                    fig6_lookahead_sweep)
+    results = fig6_lookahead_sweep(small=small, jobs=jobs)
+    out = []
+    workloads = sorted({wl for wl, _ in results})
+    for wl in workloads:
+        series = {machine: data for (w, machine), data in
+                  results.items() if w == wl}
+        out.append(format_series(
+            f"Fig. 6: look-ahead sweep — {wl}", "c",
+            LOOKAHEAD_SWEEP, series))
+    return "\n".join(out)
+
+
+def _fig7(small, jobs):
+    from .bench.reporting import format_series
+    from .bench.experiments import fig7_stagger_depth
+    results = fig7_stagger_depth(small=small, jobs=jobs)
+    return format_series("Fig. 7: HJ-8 stagger depth", "depth",
+                         (1, 2, 3, 4), results)
+
+
+def _fig8(small, jobs):
+    from .bench.experiments import fig8_instruction_overhead
+    result = fig8_instruction_overhead(small=small)
+    return format_table(
+        ["Benchmark", "Extra instructions (%)"], list(result.items()),
+        "Fig. 8: dynamic instruction overhead (Haswell)")
+
+
+def _fig9(small, jobs):
+    from .bench.experiments import fig9_bandwidth
+    result = fig9_bandwidth(small=small)
+    return format_table(
+        ["Cores", "Scheme", "Normalised throughput"],
+        [[n, label, v] for (n, label), v in result.items()],
+        "Fig. 9: multicore bandwidth (IS, Haswell)")
+
+
+def _fig10(small, jobs):
+    from .bench.experiments import fig10_huge_pages
+    results = fig10_huge_pages(small=small)
+    return format_table(
+        ["Benchmark", "Small Pages", "Huge Pages"],
+        [[wl, row["Small Pages"], row["Huge Pages"]]
+         for wl, row in results.items()],
+        "Fig. 10: transparent huge pages (Haswell)")
+
+
+_FIGURES = {
+    "fig2": _fig2,
+    "fig4a": lambda s, j: _fig4("a", s, j),
+    "fig4b": lambda s, j: _fig4("b", s, j),
+    "fig4c": lambda s, j: _fig4("c", s, j),
+    "fig4d": lambda s, j: _fig4("d", s, j),
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+}
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    if args.no_cache:
+        os.environ["REPRO_SIM_CACHE"] = "0"
+    else:
+        os.environ.setdefault("REPRO_SIM_CACHE", "1")
+    if args.cache_dir:
+        os.environ["REPRO_SIM_CACHE_DIR"] = args.cache_dir
+    print(_FIGURES[args.figure](args.small, args.jobs), file=out)
+    return 0
+
+
 def _cmd_systems(out) -> int:
     from .bench.experiments import table1_rows
     rows = table1_rows()
@@ -120,4 +254,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_compile(args, out)
     if args.command == "systems":
         return _cmd_systems(out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

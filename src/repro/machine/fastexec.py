@@ -1,0 +1,453 @@
+"""Fused basic-block execution: the interpreter's fast path.
+
+The slot-machine compiler (:mod:`repro.machine.interpreter`) produces one
+tuple per instruction and dispatches on an opcode kind in a large
+``if``/``elif`` chain, paying a Python-level dispatch plus one or more
+core-model method calls per dynamic instruction.  This module rewrites
+each basic block's straight-line runs of fusable instructions into a
+single generated-Python closure (a *superinstruction*): operand slots,
+constants, per-op latencies and the core's issue/retire arithmetic are
+baked into the source text, the closure is ``exec``-compiled once, and
+the core's architectural state is read at segment entry and written back
+at segment exit — one core interaction per segment instead of one method
+call per instruction.  Common 64-bit integer wrap-around arithmetic,
+comparisons and casts are emitted as inline expressions (no closure
+call), and the memory system's hot-line hit path (see
+:class:`~repro.machine.system.MemorySystem`) is inlined into the segment
+with the full-walk call as the fallback.
+
+Equivalence contract
+--------------------
+
+The generated code replays *exactly* the arithmetic of the slow path, in
+the same order, on the same floats:
+
+* ``InOrderCore.op/load/store/prefetch`` and
+  ``OutOfOrderCore._fetch/_retire`` are transcribed operation-for-
+  operation (``max(a, b)`` becomes the equivalent compare-and-assign),
+  so cycle counts are bit-identical;
+* the inlined hit path performs the same LRU touches, hit counters,
+  dirty marking and prefetcher training the full hierarchy walk would,
+  and falls back to the real walk whenever its guards fail;
+* instruction counters are charged in bulk with the same totals.
+
+The only observable difference is *when* ``RunStats`` memory-op counters
+are incremented: the slow path counts per instruction, segments count at
+segment end.  A run that raises ``MemoryFault`` mid-segment therefore
+leaves slightly different in-flight counters behind — completed runs are
+indistinguishable.
+
+Calls and allocations are never fused (they recurse into the interpreter
+or mutate the address space layout); they split a block into several
+segments and stay on the dispatch path.
+
+Set ``REPRO_SIM_FASTPATH=0`` to disable fusion (and the memory-system
+hot-line memo) and force the reference slow path everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .memory import MemoryFault
+
+# Compiled opcode kinds (shared with the interpreter, which imports them
+# from here so the two modules cannot drift apart).
+_BIN, _CMP, _SELECT, _CAST, _GEP, _LOAD, _STORE, _PREFETCH, _CALL, \
+    _ALLOC = range(10)
+#: Kind tag of a fused segment: ``(SEG, closure)``.
+_SEG = 10
+
+#: Kinds that may be folded into a fused segment.
+_FUSABLE = frozenset(
+    (_BIN, _CMP, _SELECT, _CAST, _GEP, _LOAD, _STORE, _PREFETCH))
+
+#: ALU latency default, mirrored from :mod:`repro.machine.core`.
+_ALU_LATENCY = 1.0
+
+_M64 = (1 << 64) - 1
+_H64 = 1 << 63
+_W64 = 1 << 64
+
+#: 64-bit integer binops whose wrap-around form is emitted inline.
+_INLINE_I64 = {
+    "add": "({a} + {b})", "sub": "({a} - {b})", "mul": "({a} * {b})",
+    "and": "({a} & {b})", "or": "({a} | {b})", "xor": "({a} ^ {b})",
+    "shl": "({a} << ({b} & 63))", "ashr": "({a} >> ({b} & 63))",
+    "lshr": f"(({{a}} & {_M64}) >> ({{b}} & 63))",
+}
+#: Float binops (no wrapping).
+_INLINE_FLOAT = {"fadd": "({a} + {b})", "fsub": "({a} - {b})",
+                 "fmul": "({a} * {b})", "fdiv": "({a} / {b})"}
+#: Comparison predicates as inline expressions.
+_INLINE_CMP = {
+    "eq": "{a} == {b}", "oeq": "{a} == {b}",
+    "ne": "{a} != {b}", "one": "{a} != {b}",
+    "slt": "{a} < {b}", "olt": "{a} < {b}",
+    "sle": "{a} <= {b}", "ole": "{a} <= {b}",
+    "sgt": "{a} > {b}", "ogt": "{a} > {b}",
+    "sge": "{a} >= {b}", "oge": "{a} >= {b}",
+    "ult": f"({{a}} & {_M64}) < ({{b}} & {_M64})",
+    "ule": f"({{a}} & {_M64}) <= ({{b}} & {_M64})",
+    "ugt": f"({{a}} & {_M64}) > ({{b}} & {_M64})",
+    "uge": f"({{a}} & {_M64}) >= ({{b}} & {_M64})",
+}
+
+#: Source text -> compiled code object.  Source embeds every constant
+#: (slots, pcs, latencies, machine parameters) but no object identities,
+#: so one code object serves every interpreter with the same block shape.
+_CODE_CACHE: dict[str, object] = {}
+
+
+def fastpath_enabled(explicit: bool | None = None) -> bool:
+    """Resolve a fast-path flag: explicit setting, else the
+    ``REPRO_SIM_FASTPATH`` environment variable (default on)."""
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+
+
+def fuse_function(compiled, mode: str, bindings: dict) -> None:
+    """Rewrite ``compiled.blocks`` in place, fusing instruction runs.
+
+    :param compiled: a :class:`~repro.machine.interpreter._CompiledFunction`.
+    :param mode: ``"func"`` (no timing), ``"inorder"`` or ``"ooo"``.
+    :param bindings: runtime objects generated code binds to: ``memory``
+        (:class:`Memory`), ``stats`` (:class:`RunStats`), and for timed
+        modes ``core`` and ``ms`` (the :class:`MemorySystem`).
+    """
+    compiled.blocks = [
+        (_fuse_block(insts, mode, bindings), term, count)
+        for insts, term, count in compiled.blocks]
+
+
+def _fuse_block(insts: list, mode: str, bindings: dict) -> list:
+    items: list = []
+    run: list = []
+    for inst in insts:
+        if inst[0] in _FUSABLE:
+            run.append(inst)
+        else:
+            if run:
+                items.append((_SEG, _compile_segment(run, mode, bindings)))
+                run = []
+            items.append(inst)
+    if run:
+        items.append((_SEG, _compile_segment(run, mode, bindings)))
+    return items
+
+
+def _operand(is_const: bool, payload) -> str:
+    """Source text of one pre-resolved operand."""
+    return repr(payload) if is_const else f"regs[{payload}]"
+
+
+def _compile_segment(ops: list, mode: str, bind: dict):
+    """Generate, compile and instantiate the closure for one run."""
+    timed = mode != "func"
+    env: dict = {"_MF": MemoryFault,
+                 "_alloc_at": bind["memory"].allocation_at,
+                 "_stats": bind["stats"]}
+    body: list[str] = []
+    emit = body.append
+
+    if timed:
+        core = bind["core"]
+        ms = bind["ms"]
+        env["_core"] = core
+        env["_ms_load"] = ms.load
+        env["_ms_store"] = ms.store
+        env["_ms_prefetch"] = ms.prefetch
+        ic = repr(core.issue_cost)
+        if mode == "inorder":
+            bt = repr(core._block_threshold)
+            emit("t = _core.time")
+        else:
+            env["_rob"] = core._rob
+            nrob = len(core._rob)
+            emit("head = _core._rob_head")
+            emit("ft = _core.fetch_time")
+            emit("lr = _core._last_retire")
+            emit("cm = _core.completion_max")
+        if ms.fastpath:
+            # Bindings for the inlined hot-line hit path.  All of these
+            # objects are stable for the MemorySystem's lifetime (flush
+            # clears them in place).
+            l1 = ms.caches[0]
+            env.update(_hot=ms._hot, _l1s=l1._sets, _tp=ms.tlb._pages,
+                       _mst=ms.stats, _tst=ms.tlb.stats,
+                       _l1st=l1.stats, _pf=ms.prefetcher,
+                       _train=ms._train_hw_prefetcher,
+                       _ms_demand=ms._demand_fast,
+                       _ms_pfmiss=ms._prefetch_miss_fast)
+            for i, c in enumerate(ms.caches[1:]):
+                env[f"_md{i}"] = c.mark_dirty
+            hot = {
+                "ls": ms.line_size, "ns": l1.num_sets,
+                "pb": ms.tlb.page_bits, "lat": repr(l1.latency),
+                "ndirty": len(ms.caches) - 1,
+            }
+        else:
+            hot = None
+
+    def dep(specs) -> None:
+        """dep = max(0.0, ready[...]) over the non-const operands."""
+        slots = [v for c, v in specs if not c]
+        if not slots:
+            emit("dep = 0.0")
+            return
+        emit(f"dep = ready[{slots[0]}]")
+        for s in slots[1:]:
+            emit(f"_t = ready[{s}]")
+            emit("if _t > dep: dep = _t")
+
+    def inorder_issue() -> None:
+        emit(f"issue = t + {ic}")
+        emit("if dep > issue: issue = dep")
+
+    def ooo_issue() -> None:
+        """_fetch() then issue = max(fetch, dep), into local ``issue``."""
+        emit(f"issue = ft + {ic}")
+        emit("_s = _rob[head]")
+        emit("if _s > issue: issue = _s")
+        emit("ft = issue")
+        emit("if dep > issue: issue = dep")
+
+    def ooo_retire(done: str) -> None:
+        emit(f"if {done} > lr: lr = {done}")
+        emit("_rob[head] = lr")
+        emit("head += 1")
+        emit(f"if head == {nrob}: head = 0")
+        emit(f"if {done} > cm: cm = {done}")
+
+    def issue_and(specs) -> None:
+        """dep -> issue for the current mode (result in ``issue``)."""
+        dep(specs)
+        if mode == "inorder":
+            inorder_issue()
+        else:
+            ooo_issue()
+
+    def alu(dst: int, specs, lat: float, *, value: str | None = None,
+            wrapped: str | None = None) -> None:
+        """One non-memory op: functional effect + issue/retire timing.
+
+        :param value: expression assigned to the slot directly.
+        :param wrapped: expression put through 64-bit signed wrap first.
+        """
+        if wrapped is not None:
+            emit(f"_v = {wrapped} & {_M64}")
+            emit(f"regs[{dst}] = _v - {_W64} if _v >= {_H64} else _v")
+        else:
+            emit(f"regs[{dst}] = {value}")
+        if not timed:
+            return
+        issue_and(specs)
+        if mode == "inorder":
+            emit("t = issue")
+            emit(f"ready[{dst}] = issue + {lat!r}")
+        else:
+            emit(f"done = issue + {lat!r}")
+            ooo_retire("done")
+            emit(f"ready[{dst}] = done")
+
+    def fn_call(fn) -> str:
+        name = f"_f{len([k for k in env if k.startswith('_f')])}"
+        env[name] = fn
+        return name
+
+    def address(ptr_spec, site: int, op_name: str) -> None:
+        """Resolve ``addr``; leaves the site memo in ``_m``.
+
+        ``_m`` is ``[alloc, base, end, element_size, data]`` — richer
+        than the dispatch path's one-slot allocation memo so the hot
+        case needs no attribute (or property) lookups.
+        """
+        emit(f"addr = {_operand(*ptr_spec)}")
+        emit(f"_m = _c{site}")
+        emit("if addr < _m[1] or addr >= _m[2]:")
+        emit("    _a = _alloc_at(addr)")
+        emit("    _m[0] = _a")
+        emit("    _m[1] = _a.base")
+        emit("    _m[2] = _a.end")
+        emit("    _m[3] = _a.element_size")
+        emit("    _m[4] = _a.data")
+        emit("_q, _r = divmod(addr - _m[1], _m[3])")
+        emit("if _r:")
+        emit(f"    raise _MF('misaligned {op_name} at %#x' % addr)")
+
+    def hot_probe() -> str:
+        """Guard expression: line resident in L1 + page in L1 TLB."""
+        return (f"entry is not None and entry[0] <= issue and "
+                f"(lines := _l1s[line % {hot['ns']}]).get(line) is entry "
+                f"and (page := addr >> {hot['pb']}) in _tp")
+
+    def hot_touch() -> None:
+        """LRU touches + hit counters of the replayed L1/TLB hit."""
+        emit("    del _tp[page]")
+        emit("    _tp[page] = None")
+        emit("    _tst.hits += 1")
+        emit("    del lines[line]")
+        emit("    lines[line] = entry")
+
+    def demand(pc: int, is_write: bool) -> None:
+        """``rdy = <memory system demand access at issue>``."""
+        ms_call = "_ms_store" if is_write else "_ms_load"
+        if hot is None:
+            emit(f"rdy = {ms_call}({pc}, addr, issue)")
+            return
+        emit(f"line = addr // {hot['ls']}")
+        emit("entry = _hot.get(line)")
+        emit(f"if {hot_probe()}:")
+        emit("    _mst.demand_accesses += 1")
+        hot_touch()
+        emit("    _l1st.hits += 1")
+        if is_write:
+            emit("    entry[1] = True")
+            for i in range(hot["ndirty"]):
+                emit(f"    _md{i}(line)")
+        emit("    if line != _pf._last_line:")
+        emit(f"        _train({pc}, line, issue)")
+        emit(f"    rdy = issue + {hot['lat']}")
+        emit("else:")
+        # The guard above replicates load()/store()'s own memo probe, so
+        # on failure go straight to the inlined miss walk.
+        emit(f"    rdy = _ms_demand({pc}, addr, issue, {is_write})")
+
+    from .core import _LATENCIES
+
+    site = 0
+    counts = {"loads": 0, "stores": 0, "prefetches": 0}
+    for inst in ops:
+        kind = inst[0]
+        if kind == _BIN:
+            _, dst, fn, ac, a, bc, b, opcode, bits = inst
+            av, bv = _operand(ac, a), _operand(bc, b)
+            lat = _LATENCIES.get(opcode, _ALU_LATENCY)
+            specs = [(ac, a), (bc, b)]
+            if opcode in _INLINE_FLOAT:
+                alu(dst, specs, lat,
+                    value=_INLINE_FLOAT[opcode].format(a=av, b=bv))
+            elif bits == 64 and opcode in _INLINE_I64:
+                alu(dst, specs, lat,
+                    wrapped=_INLINE_I64[opcode].format(a=av, b=bv))
+            else:
+                alu(dst, specs, lat, value=f"{fn_call(fn)}({av}, {bv})")
+        elif kind == _CMP:
+            _, dst, fn, ac, a, bc, b, pred = inst
+            av, bv = _operand(ac, a), _operand(bc, b)
+            cond = _INLINE_CMP[pred].format(a=av, b=bv)
+            alu(dst, [(ac, a), (bc, b)], _ALU_LATENCY,
+                value=f"1 if {cond} else 0")
+        elif kind == _SELECT:
+            _, dst, cc, c, tc, t, fc, f = inst
+            rhs = (f"({_operand(tc, t)}) if ({_operand(cc, c)}) "
+                   f"else ({_operand(fc, f)})")
+            alu(dst, [(cc, c), (tc, t), (fc, f)], _ALU_LATENCY,
+                value=rhs)
+        elif kind == _CAST:
+            _, dst, fn, vc, v, opcode, fb, tb = inst
+            vv = _operand(vc, v)
+            specs = [(vc, v)]
+            if opcode in ("bitcast", "ptrtoint", "inttoptr", "sext"):
+                alu(dst, specs, _ALU_LATENCY, value=vv)
+            elif opcode == "zext":
+                alu(dst, specs, _ALU_LATENCY,
+                    value=f"({vv}) & {(1 << fb) - 1}")
+            elif opcode == "trunc" and tb == 64:
+                alu(dst, specs, _ALU_LATENCY, wrapped=f"({vv})")
+            elif opcode == "sitofp":
+                alu(dst, specs, _ALU_LATENCY, value=f"float({vv})")
+            elif opcode == "fptosi" and tb == 64:
+                alu(dst, specs, _ALU_LATENCY, wrapped=f"int({vv})")
+            else:
+                alu(dst, specs, _ALU_LATENCY,
+                    value=f"{fn_call(fn)}({vv})")
+        elif kind == _GEP:
+            _, dst, elem, bc, b, ic_, i = inst
+            rhs = f"{_operand(bc, b)} + {_operand(ic_, i)} * {elem}"
+            alu(dst, [(bc, b), (ic_, i)], _ALU_LATENCY, value=rhs)
+        elif kind == _LOAD:
+            _, dst, pc, pc_const, p, cache = inst
+            counts["loads"] += 1
+            env[f"_c{site}"] = [None, 0, -1, 1, None]
+            address((pc_const, p), site, "load")
+            site += 1
+            emit(f"regs[{dst}] = _m[4][_q]")
+            if timed:
+                issue_and([(pc_const, p)])
+                demand(pc, is_write=False)
+                if mode == "inorder":
+                    emit(f"if rdy - issue > {bt}:")
+                    emit("    t = rdy")
+                    emit("else:")
+                    emit("    t = issue")
+                else:
+                    ooo_retire("rdy")
+                emit(f"ready[{dst}] = rdy")
+        elif kind == _STORE:
+            _, pc, vc, v, pc_const, p, cache = inst
+            counts["stores"] += 1
+            env[f"_c{site}"] = [None, 0, -1, 1, None]
+            address((pc_const, p), site, "store")
+            site += 1
+            emit(f"_m[4][_q] = {_operand(vc, v)}")
+            if timed:
+                issue_and([(vc, v), (pc_const, p)])
+                demand(pc, is_write=True)
+                if mode == "inorder":
+                    emit("t = issue")
+                else:
+                    emit("done = issue + 1.0")
+                    ooo_retire("done")
+        elif kind == _PREFETCH:
+            _, pc, pc_const, p = inst
+            counts["prefetches"] += 1
+            emit(f"addr = {_operand(pc_const, p)}")
+            if timed:
+                issue_and([(pc_const, p)])
+                if hot is None:
+                    emit(f"acc = _ms_prefetch({pc}, addr, issue)")
+                else:
+                    # Replay of MemorySystem.prefetch's fast path: an
+                    # L1-resident line never waits, so no fill check.
+                    emit(f"line = addr // {hot['ls']}")
+                    emit("entry = _hot.get(line)")
+                    emit("if entry is not None and "
+                         f"(lines := _l1s[line % {hot['ns']}]).get(line)"
+                         " is entry and "
+                         f"(page := addr >> {hot['pb']}) in _tp:")
+                    emit("    _mst.sw_prefetches += 1")
+                    hot_touch()
+                    emit("    acc = issue")
+                    emit("else:")
+                    emit(f"    acc = _ms_pfmiss({pc}, addr, line, issue)")
+                if mode == "inorder":
+                    emit("t = acc")
+                else:
+                    emit("done = acc + 1.0")
+                    ooo_retire("done")
+        else:  # pragma: no cover - _fuse_block filters kinds
+            raise RuntimeError(f"kind {kind} is not fusable")
+
+    if timed:
+        if mode == "inorder":
+            emit("_core.time = t")
+        else:
+            emit("_core._rob_head = head")
+            emit("_core.fetch_time = ft")
+            emit("_core._last_retire = lr")
+            emit("_core.completion_max = cm")
+        emit(f"_core.instructions += {len(ops)}")
+    for field, n in counts.items():
+        if n:
+            emit(f"_stats.{field} += {n}")
+
+    src = "def _seg(regs, ready):\n" + "".join(
+        f"    {line}\n" for line in body)
+    code = _CODE_CACHE.get(src)
+    if code is None:
+        code = compile(src, "<fused-segment>", "exec")
+        _CODE_CACHE[src] = code
+    exec(code, env)
+    return env["_seg"]

@@ -50,6 +50,7 @@ class StridePrefetcher:
         self.train_threshold = train_threshold
         self.table_size = table_size
         self._table: dict[int, list[_StreamEntry]] = {}
+        self._last_line: int | None = None
         self.issued = 0
 
     def observe(self, pc: int, line_addr: int) -> list[int]:
@@ -58,6 +59,12 @@ class StridePrefetcher:
         ``pc`` is accepted for interface stability but streams are keyed
         by memory region (see module docstring).
         """
+        if line_addr == self._last_line:
+            # Repeat of the immediately preceding access: the region is
+            # already MRU and the matched stream sees stride 0, so the
+            # full path would mutate nothing and return no fills.
+            return []
+        self._last_line = line_addr
         region = line_addr >> REGION_BITS
         streams = self._table.get(region)
         if streams is None:
@@ -94,4 +101,5 @@ class StridePrefetcher:
     def reset(self) -> None:
         """Forget all streams."""
         self._table.clear()
+        self._last_line = None
         self.issued = 0

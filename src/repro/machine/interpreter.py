@@ -28,12 +28,11 @@ from ..ir.values import Argument, Constant, UndefValue, Value
 from .configs import MachineConfig
 from .core import make_core
 from .dram import DRAMChannel
+from .fastexec import (_ALLOC, _BIN, _CALL, _CAST, _CMP, _GEP, _LOAD,
+                       _PREFETCH, _SEG, _SELECT, _STORE, fastpath_enabled,
+                       fuse_function)
 from .memory import Allocation, Memory, MemoryFault
 from .system import MemorySystem
-
-# Compiled opcode kinds.
-_BIN, _CMP, _SELECT, _CAST, _GEP, _LOAD, _STORE, _PREFETCH, _CALL, \
-    _ALLOC = range(10)
 
 _M64 = (1 << 64) - 1
 
@@ -183,7 +182,10 @@ class _CompiledFunction:
 
         block_index = {id(b): i for i, b in enumerate(func.blocks)}
         self.block_names = [b.name for b in func.blocks]
-        self.blocks: list[tuple[list, tuple]] = []
+        # Per block: (compiled items, terminator, instruction charge).
+        # The charge is fixed at compile time (pre-fusion) so fused
+        # execution books the same `stats.instructions` per block visit.
+        self.blocks: list[tuple[list, tuple, int]] = []
         pc = pc_base
         for block in func.blocks:
             compiled: list = []
@@ -198,11 +200,13 @@ class _CompiledFunction:
                     compiled.append((
                         _BIN, slots[id(inst)],
                         _binop_fn(inst.opcode, bits),
-                        *spec(inst.lhs), *spec(inst.rhs), inst.opcode))
+                        *spec(inst.lhs), *spec(inst.rhs), inst.opcode,
+                        bits))
                 elif isinstance(inst, Cmp):
                     compiled.append((
                         _CMP, slots[id(inst)], _cmp_fn(inst.predicate),
-                        *spec(inst.lhs), *spec(inst.rhs)))
+                        *spec(inst.lhs), *spec(inst.rhs),
+                        inst.predicate))
                 elif isinstance(inst, Select):
                     compiled.append((
                         _SELECT, slots[id(inst)], *spec(inst.condition),
@@ -211,7 +215,9 @@ class _CompiledFunction:
                     compiled.append((
                         _CAST, slots[id(inst)],
                         _cast_fn(inst.opcode, inst.value.type, inst.type),
-                        *spec(inst.value)))
+                        *spec(inst.value), inst.opcode,
+                        getattr(inst.value.type, "bits", 0),
+                        getattr(inst.type, "bits", 0)))
                 elif isinstance(inst, GEP):
                     elem = inst.type.pointee.size
                     compiled.append((
@@ -250,7 +256,7 @@ class _CompiledFunction:
                 raise ValueError(
                     f"block {block.name} of @{func.name} lacks a "
                     f"terminator")
-            self.blocks.append((compiled, terminator))
+            self.blocks.append((compiled, terminator, len(compiled) + 1))
         self.num_slots = len(slots)
 
     @staticmethod
@@ -314,16 +320,21 @@ class Interpreter:
     :param machine: a :class:`MachineConfig` for timed execution, or
         ``None`` for functional execution.
     :param dram: optionally a shared DRAM channel (multicore runs).
+    :param fastpath: enable fused-block execution and the memory-system
+        hot-line memo (``None`` = follow ``REPRO_SIM_FASTPATH``).
     """
 
     def __init__(self, module: Module, memory: Memory | None = None,
                  machine: MachineConfig | None = None,
-                 dram: DRAMChannel | None = None):
+                 dram: DRAMChannel | None = None,
+                 fastpath: bool | None = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.machine = machine
-        self.memory_system = (MemorySystem(machine, dram)
-                              if machine is not None else None)
+        self.fastpath = fastpath_enabled(fastpath)
+        self.memory_system = (
+            MemorySystem(machine, dram, fastpath=self.fastpath)
+            if machine is not None else None)
         self.core = (make_core(machine, self.memory_system)
                      if machine is not None else None)
         self._compiled: dict[str, _CompiledFunction] = {}
@@ -336,6 +347,14 @@ class Interpreter:
         if compiled is None:
             compiled = _CompiledFunction(func, self._pc_base)
             self._pc_base += sum(len(b) for b in func.blocks) + 16
+            if self.fastpath:
+                if self.machine is None:
+                    mode = "func"
+                else:
+                    mode = "inorder" if self.machine.in_order else "ooo"
+                fuse_function(compiled, mode, {
+                    "memory": self.memory, "stats": self.stats,
+                    "core": self.core, "ms": self.memory_system})
             self._compiled[func.name] = compiled
         return compiled
 
@@ -395,11 +414,13 @@ class Interpreter:
         steps = 0
         max_steps = self.max_steps
         while True:
-            insts, term = blocks[block]
+            insts, term, charge = blocks[block]
             for inst in insts:
                 kind = inst[0]
-                if kind == _BIN:
-                    _, dst, fn, ac, a, bc, b, opcode = inst
+                if kind == _SEG:
+                    inst[1](regs, ready)
+                elif kind == _BIN:
+                    _, dst, fn, ac, a, bc, b, opcode, _bits = inst
                     av = a if ac else regs[a]
                     bv = b if bc else regs[b]
                     regs[dst] = fn(av, bv)
@@ -464,7 +485,7 @@ class Interpreter:
                             dep = ready[p]
                         core.store(pc, addr, dep)
                 elif kind == _CMP:
-                    _, dst, fn, ac, a, bc, b = inst
+                    _, dst, fn, ac, a, bc, b, _pred = inst
                     av = a if ac else regs[a]
                     bv = b if bc else regs[b]
                     regs[dst] = fn(av, bv)
@@ -490,7 +511,7 @@ class Interpreter:
                             dep = ready[f]
                         ready[dst] = core.op(dep)
                 elif kind == _CAST:
-                    _, dst, fn, vc, v = inst
+                    _, dst, fn, vc, v, _op, _fb, _tb = inst
                     regs[dst] = fn(v if vc else regs[v])
                     if core is not None:
                         ready[dst] = core.op(
@@ -534,8 +555,8 @@ class Interpreter:
                             ready[dst] = retval[1]
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"bad compiled opcode {kind}")
-            stats.instructions += len(insts) + 1
-            steps += len(insts) + 1
+            stats.instructions += charge
+            steps += charge
             if max_steps is not None and stats.instructions > max_steps:
                 raise RuntimeError(
                     f"exceeded max_steps={max_steps} "

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from .cache import Cache
 from .configs import MachineConfig
 from .dram import DRAMChannel
+from .fastexec import fastpath_enabled
 from .hwprefetch import StridePrefetcher
 from .tlb import TLB
+
+#: Hot-line memo entries are dropped wholesale past this size so the
+#: memo cannot outgrow the simulated working set it shadows.
+_HOT_LIMIT = 1 << 20
 
 
 @dataclass
@@ -57,10 +63,24 @@ class MemorySystem:
     :param config: machine description.
     :param dram: optionally a shared channel (multicore); a private one is
         created otherwise.
+    :param fastpath: enable the hot-line memo (``None`` = follow
+        ``REPRO_SIM_FASTPATH``).
+
+    The **hot-line memo** is the demand-path fast path: ``_hot`` maps a
+    line address to the ``[fill_time, dirty]`` entry list the L1 held
+    for it when it was last resolved.  A later access to the same line
+    takes the fast path only when (a) the L1 set still holds *that very
+    list object* — :meth:`Cache.insert` always installs a fresh list, so
+    identity proves the line was neither evicted nor refilled since —
+    (b) the fill has completed, and (c) the page is still in the L1 TLB.
+    The fast path then replays exactly the side effects the full walk
+    would have had (LRU touches, hit counters, dirty marking, prefetcher
+    training), keeping cycle counts bit-identical to the slow path.
     """
 
     def __init__(self, config: MachineConfig,
-                 dram: DRAMChannel | None = None):
+                 dram: DRAMChannel | None = None,
+                 fastpath: bool | None = None):
         self.config = config
         self.line_size = config.line_size
         self.caches = [
@@ -79,18 +99,66 @@ class MemorySystem:
             degree=config.hw_prefetch_degree)
         self.mshrs = _MSHRFile(config.mshrs)
         self.stats = MemoryStats()
+        self.fastpath = fastpath_enabled(fastpath)
+        self._hot: dict[int, list] = {}
+        self._l1 = self.caches[0]
+        self._page_bits = self.tlb.page_bits
+        self._tlb_pages = self.tlb._pages  # cleared in place by flush()
 
     # -- public access points ---------------------------------------------
 
     def load(self, pc: int, addr: int, time: float) -> float:
         """Demand load; returns data-ready time."""
+        if self.fastpath:
+            line = addr // self.line_size
+            entry = self._hot.get(line)
+            if entry is not None and entry[0] <= time:
+                l1 = self._l1
+                lines = l1._sets[line % l1.num_sets]
+                if lines.get(line) is entry and \
+                        (addr >> self._page_bits) in self._tlb_pages:
+                    return self._fast_hit(pc, addr, line, time, lines,
+                                          entry, False)
+            return self._demand_fast(pc, addr, time, False)
         return self._demand(pc, addr, time, is_write=False)
 
     def store(self, pc: int, addr: int, time: float) -> float:
         """Store (write-allocate); returns line-owned time.  Cores treat
         stores as fire-and-forget through a store buffer; dirty lines
         cost a DRAM writeback when they eventually leave the hierarchy."""
+        if self.fastpath:
+            line = addr // self.line_size
+            entry = self._hot.get(line)
+            if entry is not None and entry[0] <= time:
+                l1 = self._l1
+                lines = l1._sets[line % l1.num_sets]
+                if lines.get(line) is entry and \
+                        (addr >> self._page_bits) in self._tlb_pages:
+                    return self._fast_hit(pc, addr, line, time, lines,
+                                          entry, True)
+            return self._demand_fast(pc, addr, time, True)
         return self._demand(pc, addr, time, is_write=True)
+
+    def _fast_hit(self, pc: int, addr: int, line: int, time: float,
+                  lines: dict, entry: list, is_write: bool) -> float:
+        """Replay a guaranteed L1-line + L1-TLB hit without the walk."""
+        self.stats.demand_accesses += 1
+        tlb = self.tlb
+        pages = self._tlb_pages
+        page = addr >> self._page_bits
+        del pages[page]
+        pages[page] = None
+        tlb.stats.hits += 1
+        del lines[line]
+        lines[line] = entry
+        l1 = self._l1
+        l1.stats.hits += 1
+        if is_write:
+            entry[1] = True
+            for c in self.caches[1:]:
+                c.mark_dirty(line)
+        self._train_hw_prefetcher(pc, line, time)
+        return time + l1.latency
 
     def prefetch(self, pc: int, addr: int, time: float) -> float:
         """Software prefetch; returns the *issue-accept* time (the core
@@ -101,8 +169,28 @@ class MemorySystem:
         is a full MSHR file, which stalls issue until a fill retires —
         this is what throttles software-prefetch memory parallelism.
         """
-        self.stats.sw_prefetches += 1
         line = addr // self.line_size
+        if self.fastpath:
+            # Fast path: the line is provably still in the L1 and the
+            # page in the L1 TLB, so the slow path would hit at level 0
+            # and return ``time`` untouched (no fill-time check needed:
+            # a prefetch hit never waits).  Replay the touches/counters.
+            entry = self._hot.get(line)
+            if entry is not None:
+                l1 = self._l1
+                lines = l1._sets[line % l1.num_sets]
+                page = addr >> self._page_bits
+                if lines.get(line) is entry and page in self._tlb_pages:
+                    self.stats.sw_prefetches += 1
+                    pages = self._tlb_pages
+                    del pages[page]
+                    pages[page] = None
+                    self.tlb.stats.hits += 1
+                    del lines[line]
+                    lines[line] = entry
+                    return time
+            return self._prefetch_miss_fast(pc, addr, line, time)
+        self.stats.sw_prefetches += 1
         t = self.tlb.translate(addr, time)  # prefetches do fill the TLB
         for level, cache in enumerate(self.caches):
             fill = cache.lookup(line)
@@ -112,6 +200,7 @@ class MemorySystem:
                 for upper in self.caches[:level]:
                     upper.insert(line, ready)
                     upper.stats.prefetch_fills += 1
+                self._memoize(line)
                 return time
         # Miss everywhere: bring the line from DRAM.
         start = self.mshrs.acquire(t)
@@ -120,8 +209,211 @@ class MemorySystem:
         self.stats.sw_prefetch_dram_fills += 1
         self._fill_all(line, done, request_time=start)
         self.caches[0].stats.prefetch_fills += 1
+        self._memoize(line)
         # The core resumes once the request is accepted (MSHR acquired);
         # translation latency itself is off the critical path.
+        return max(time, start - (t - time))
+
+    def _memoize(self, line: int) -> None:
+        """Record the L1's current entry list for ``line`` (which every
+        demand access and prefetch leaves resident in the L1)."""
+        if not self.fastpath:
+            return
+        hot = self._hot
+        if len(hot) > _HOT_LIMIT:
+            hot.clear()
+        l1 = self._l1
+        entry = l1._sets[line % l1.num_sets].get(line)
+        if entry is not None:
+            hot[line] = entry
+
+    # -- inlined fast-path walks --------------------------------------------
+    #
+    # ``_demand_fast`` / ``_prefetch_miss_fast`` are hand-inlined copies of
+    # ``_demand`` / the ``prefetch`` slow path: they perform *exactly* the
+    # same state mutations in the same order (TLB probe, per-level lookup
+    # touches and counters, MSHR heap, DRAM channel, per-level fills with
+    # eviction/writeback charging, prefetcher training, hot-line memo) but
+    # collapse ~a dozen method calls and attribute chases into one frame.
+    # Any behavioural change here is a bug; the property tests compare the
+    # two engines stat-for-stat.
+
+    def _demand_fast(self, pc: int, addr: int, time: float,
+                     is_write: bool) -> float:
+        self.stats.demand_accesses += 1
+        line = addr // self.line_size
+        # TLB.translate, L1 probe inlined.
+        page = addr >> self._page_bits
+        pages = self._tlb_pages
+        if page in pages:
+            del pages[page]
+            pages[page] = None
+            self.tlb.stats.hits += 1
+            t = time
+        else:
+            t = self.tlb._miss(page, time)
+        caches = self.caches
+        l1_entry = None
+        for level, cache in enumerate(caches):
+            lines = cache._sets[line % cache.num_sets]
+            entry = lines.get(line)
+            if entry is not None:
+                fill = entry[0]
+                del lines[line]
+                lines[line] = entry
+                cst = cache.stats
+                if fill <= t:
+                    cst.hits += 1
+                    ready = t + cache.latency
+                else:
+                    cst.prefetch_hits += 1
+                    ready = fill + cache.latency
+                if level:
+                    llc = caches[-1]
+                    for upper in caches[:level]:
+                        if upper.insert(line, ready) and upper is llc:
+                            self.dram.writeback(t)
+                else:
+                    l1_entry = entry
+                if is_write:
+                    for c in caches:
+                        c.mark_dirty(line)
+                break
+            cache.stats.misses += 1
+        else:
+            # Miss everywhere: MSHR acquire + DRAM access + fills, inlined.
+            mshrs = self.mshrs
+            heap = mshrs._completions
+            while heap and heap[0] <= t:
+                heappop(heap)
+            start = heappop(heap) if len(heap) >= mshrs.entries else t
+            d = self.dram
+            cpl = d.cycles_per_line
+            nf = d._next_free
+            s = start if start > nf else nf
+            d._next_free = s + cpl
+            done = s + d.latency + d.contention_penalty * (d._sharers - 1)
+            dst = d.stats
+            dst.accesses += 1
+            dst.busy_cycles += cpl
+            dst.queue_cycles += s - start
+            heappush(heap, done)
+            self.stats.demand_misses_to_dram += 1
+            # _fill_all(line, done, dirty=is_write, request_time=start):
+            # the line just missed at every level, so it is absent from
+            # each set and insert() reduces to evict-if-full + install.
+            llc = caches[-1]
+            for cache in caches:
+                cl = cache._sets[line % cache.num_sets]
+                if len(cl) >= cache.ways:
+                    oldest = next(iter(cl))
+                    dirty_evicted = cl[oldest][1]
+                    del cl[oldest]
+                    cst = cache.stats
+                    cst.evictions += 1
+                    if dirty_evicted:
+                        cst.dirty_evictions += 1
+                        if cache is llc:
+                            nf = d._next_free
+                            ws = start if start > nf else nf
+                            d._next_free = ws + cpl
+                            dst.writebacks += 1
+                            dst.busy_cycles += cpl
+                new = [done, is_write]
+                cl[line] = new
+                if l1_entry is None:
+                    l1_entry = new
+            ready = done
+        pf = self.prefetcher
+        if line != pf._last_line:
+            fills = pf.observe(pc, line)
+            if fills:
+                self._issue_hw_fills(fills, t)
+        hot = self._hot
+        if len(hot) > _HOT_LIMIT:
+            hot.clear()
+        if l1_entry is None:
+            l1 = caches[0]
+            l1_entry = l1._sets[line % l1.num_sets].get(line)
+        hot[line] = l1_entry
+        return ready
+
+    def _prefetch_miss_fast(self, pc: int, addr: int, line: int,
+                            time: float) -> float:
+        self.stats.sw_prefetches += 1
+        page = addr >> self._page_bits
+        pages = self._tlb_pages
+        if page in pages:
+            del pages[page]
+            pages[page] = None
+            self.tlb.stats.hits += 1
+            t = time
+        else:
+            t = self.tlb._miss(page, time)
+        caches = self.caches
+        hot = self._hot
+        for level, cache in enumerate(caches):
+            lines = cache._sets[line % cache.num_sets]
+            entry = lines.get(line)
+            if entry is not None:
+                fill = entry[0]
+                del lines[line]
+                lines[line] = entry
+                if level:
+                    ready = (t if fill <= t else fill) + cache.latency
+                    for upper in caches[:level]:
+                        upper.insert(line, ready)
+                        upper.stats.prefetch_fills += 1
+                    l1 = caches[0]
+                    entry = l1._sets[line % l1.num_sets].get(line)
+                if len(hot) > _HOT_LIMIT:
+                    hot.clear()
+                hot[line] = entry
+                return time
+        # Miss everywhere (no per-level miss counters on prefetch walks).
+        mshrs = self.mshrs
+        heap = mshrs._completions
+        while heap and heap[0] <= t:
+            heappop(heap)
+        start = heappop(heap) if len(heap) >= mshrs.entries else t
+        d = self.dram
+        cpl = d.cycles_per_line
+        nf = d._next_free
+        s = start if start > nf else nf
+        d._next_free = s + cpl
+        done = s + d.latency + d.contention_penalty * (d._sharers - 1)
+        dst = d.stats
+        dst.accesses += 1
+        dst.busy_cycles += cpl
+        dst.queue_cycles += s - start
+        heappush(heap, done)
+        self.stats.sw_prefetch_dram_fills += 1
+        llc = caches[-1]
+        l1_entry = None
+        for cache in caches:
+            cl = cache._sets[line % cache.num_sets]
+            if len(cl) >= cache.ways:
+                oldest = next(iter(cl))
+                dirty_evicted = cl[oldest][1]
+                del cl[oldest]
+                cst = cache.stats
+                cst.evictions += 1
+                if dirty_evicted:
+                    cst.dirty_evictions += 1
+                    if cache is llc:
+                        nf = d._next_free
+                        ws = start if start > nf else nf
+                        d._next_free = ws + cpl
+                        dst.writebacks += 1
+                        dst.busy_cycles += cpl
+            new = [done, False]
+            cl[line] = new
+            if l1_entry is None:
+                l1_entry = new
+        caches[0].stats.prefetch_fills += 1
+        if len(hot) > _HOT_LIMIT:
+            hot.clear()
+        hot[line] = l1_entry
         return max(time, start - (t - time))
 
     # -- internals ----------------------------------------------------------
@@ -133,6 +425,7 @@ class MemorySystem:
         t = self.tlb.translate(addr, time)
         ready = self._hierarchy_access(line, t, is_write)
         self._train_hw_prefetcher(pc, line, t)
+        self._memoize(line)
         return ready
 
     def _hierarchy_access(self, line: int, t: float,
@@ -180,8 +473,10 @@ class MemorySystem:
 
     def _train_hw_prefetcher(self, pc: int, line: int, t: float) -> None:
         fills = self.prefetcher.observe(pc, line)
-        if not fills:
-            return
+        if fills:
+            self._issue_hw_fills(fills, t)
+
+    def _issue_hw_fills(self, fills: list[int], t: float) -> None:
         # Hardware prefetches fill into the L2 (not L1) and consume DRAM
         # bandwidth, but bypass the core's MSHRs (dedicated queue).
         llc = self.caches[-1]
@@ -202,6 +497,7 @@ class MemorySystem:
             cache.invalidate_all()
         self.tlb.flush()
         self.prefetcher.reset()
+        self._hot.clear()
 
     @property
     def l1(self) -> Cache:

@@ -86,6 +86,10 @@ class TLB:
             pages[page] = None
             self.stats.hits += 1
             return time
+        return self._miss(page, time)
+
+    def _miss(self, page: int, time: float) -> float:
+        """L1-TLB-miss tail of :meth:`translate` (L2 probe, then walk)."""
         if page in self._l2_pages:
             del self._l2_pages[page]
             self._l2_pages[page] = None

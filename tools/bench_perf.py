@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Benchmark-suite throughput harness: fast engine vs slow reference.
+
+Times the figure experiments three ways and writes
+``BENCH_sim_throughput.json``:
+
+* **slow** — ``REPRO_SIM_FASTPATH=0`` (reference interpreter and full
+  hierarchy walks), no result cache;
+* **fast cold** — fast path on, run-result disk cache enabled but
+  starting empty (within the run, figures that re-simulate identical
+  runs — e.g. Fig. 8 reuses Fig. 4(a)'s Haswell runs — already dedup);
+* **fast warm** — the same suite again against the now-populated cache,
+  i.e. the steady-state "re-run after changing nothing" developer loop.
+
+The headline ``suite.speedup`` is ``slow_s / fast_warm_s`` (the shipped
+configuration end to end, cache included); ``engine_speedup_cold``
+isolates the simulation-engine gain without any cache reuse across
+invocations.  Simulated-instruction throughput comes from the runner's
+telemetry counters.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_perf.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def build_suite(small: bool, jobs: int):
+    """The timed figure experiments (Fig. 9 is excluded: multicore runs
+    share a DRAM channel and are neither cached nor parallelised)."""
+    from repro.bench import experiments as E
+    from repro.machine import A53, A57, HASWELL, XEON_PHI
+    suite = [
+        ("fig2", lambda: E.fig2_prefetch_schemes(small=small)),
+        ("fig4a", lambda: E.fig4_system(HASWELL, small=small,
+                                        jobs=jobs)),
+        ("fig4b", lambda: E.fig4_system(A57, small=small, jobs=jobs)),
+        ("fig4c", lambda: E.fig4_system(A53, small=small, jobs=jobs)),
+        ("fig4d", lambda: E.fig4_system(XEON_PHI, include_icc=True,
+                                        small=small, jobs=jobs)),
+        ("fig5", lambda: E.fig5_stride_contribution(small=small,
+                                                    jobs=jobs)),
+        ("fig6", lambda: E.fig6_lookahead_sweep(small=small,
+                                                jobs=jobs)),
+        ("fig7", lambda: E.fig7_stagger_depth(small=small, jobs=jobs)),
+        ("fig8", lambda: E.fig8_instruction_overhead(small=small)),
+        ("fig10", lambda: E.fig10_huge_pages(small=small)),
+    ]
+    return suite
+
+
+def run_phase(suite, fastpath: bool, cache_dir: str | None) -> dict:
+    """Run every figure once under one engine configuration."""
+    from repro.bench.runner import TELEMETRY, reset_telemetry
+    os.environ["REPRO_SIM_FASTPATH"] = "1" if fastpath else "0"
+    if cache_dir is None:
+        os.environ["REPRO_SIM_CACHE"] = "0"
+    else:
+        os.environ["REPRO_SIM_CACHE"] = "1"
+        os.environ["REPRO_SIM_CACHE_DIR"] = cache_dir
+    reset_telemetry()
+    walls = {}
+    total = 0.0
+    for name, fn in suite:
+        t0 = time.perf_counter()
+        fn()
+        walls[name] = round(time.perf_counter() - t0, 3)
+        total += walls[name]
+        print(f"  {name:6s} {walls[name]:8.2f}s", flush=True)
+    return {"figures": walls, "total_s": round(total, 3),
+            "telemetry": dict(TELEMETRY)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down workloads (CI smoke mode)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(default 1: keeps telemetry in-process)")
+    parser.add_argument("--output", default="BENCH_sim_throughput.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    suite = build_suite(small=args.quick, jobs=args.jobs)
+    saved = {k: os.environ.get(k) for k in
+             ("REPRO_SIM_FASTPATH", "REPRO_SIM_CACHE",
+              "REPRO_SIM_CACHE_DIR")}
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        print("slow path (REPRO_SIM_FASTPATH=0, no cache):", flush=True)
+        slow = run_phase(suite, fastpath=False, cache_dir=None)
+        print("fast path, cold cache:", flush=True)
+        cold = run_phase(suite, fastpath=True, cache_dir=cache_dir)
+        print("fast path, warm cache:", flush=True)
+        warm = run_phase(suite, fastpath=True, cache_dir=cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    sim_insts = slow["telemetry"]["simulated_instructions"]
+    report = {
+        "generated_by": "tools/bench_perf.py",
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "figures": {
+            name: {"slow_s": slow["figures"][name],
+                   "fast_cold_s": cold["figures"][name],
+                   "fast_warm_s": warm["figures"][name]}
+            for name, _ in suite},
+        "suite": {
+            "slow_s": slow["total_s"],
+            "fast_cold_s": cold["total_s"],
+            "fast_warm_s": warm["total_s"],
+            "engine_speedup_cold": round(
+                slow["total_s"] / cold["total_s"], 2),
+            "speedup": round(slow["total_s"] / warm["total_s"], 2),
+            "speedup_definition": (
+                "slow_s / fast_warm_s: end-to-end wall time of the "
+                "figure suite under the shipped fast configuration "
+                "(fast path + populated run cache) vs the slow path"),
+        },
+        "simulated_instructions": {
+            "suite": sim_insts,
+            "per_sec_slow": round(sim_insts / slow["total_s"]),
+            "per_sec_fast_cold": round(
+                cold["telemetry"]["simulated_instructions"]
+                / cold["total_s"]),
+            "cached_runs_cold": cold["telemetry"]["cached_runs"],
+            "simulated_runs_cold": cold["telemetry"]["simulated_runs"],
+            "cached_runs_warm": warm["telemetry"]["cached_runs"],
+            "simulated_runs_warm": warm["telemetry"]["simulated_runs"],
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    s = report["suite"]
+    print(f"\nsuite: slow {s['slow_s']}s | fast cold {s['fast_cold_s']}s "
+          f"(engine {s['engine_speedup_cold']}x) | fast warm "
+          f"{s['fast_warm_s']}s ({s['speedup']}x end-to-end)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
