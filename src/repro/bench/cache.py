@@ -37,7 +37,10 @@ ENGINE_VERSION = "1"
 _CODE_HASH: str | None = None
 
 #: Package subtrees whose source determines simulation results.
-_SIM_SOURCES = ("ir", "frontend", "passes", "machine", "workloads")
+#: ``telemetry`` is included because telemetry snapshots ride inside
+#: cached results: a classification change must invalidate them.
+_SIM_SOURCES = ("ir", "frontend", "passes", "machine", "workloads",
+                "telemetry")
 
 
 def simulator_code_hash() -> str:
@@ -87,18 +90,24 @@ def canonical_token(value) -> str:
     return repr(value)
 
 
-def run_key(ir_text: str, machine, workload, validate: bool) -> str:
+def run_key(ir_text: str, machine, workload, validate: bool,
+            telemetry: bool = False) -> str:
     """Content hash identifying one simulation run.
 
     ``ir_text`` is the printed module *after* variant construction, so
     variant / lookahead / pass options / manual knobs are all folded in
     already; ``workload`` is tokenised at its pre-``prepare`` state.
+    ``telemetry`` participates because a telemetry-on run carries its
+    snapshot inside the cached result — a telemetry-off entry must not
+    satisfy a telemetry-on request (it would be silently snapshot-free),
+    nor vice versa.
     """
     token = "\n".join((
         simulator_code_hash(),
         canonical_token(machine),
         canonical_token(workload),
         repr(validate),
+        f"telemetry={telemetry}",
         ir_text,
     ))
     return hashlib.sha256(token.encode()).hexdigest()

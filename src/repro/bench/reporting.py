@@ -46,3 +46,23 @@ def format_series(title: str, x_label: str, xs: Iterable,
     for x in xs:
         rows.append([x] + [series[name].get(x, "") for name in series])
     return format_table(headers, rows, title)
+
+
+def telemetry_summary(snapshot: dict | None) -> dict:
+    """Compact telemetry columns for figure tables.
+
+    Maps a run's telemetry snapshot (see docs/TELEMETRY.md) to the
+    header → value pairs the figure harnesses append when telemetry is
+    on; an empty dict when the run carried no snapshot, so callers can
+    extend their headers only when there is data.
+    """
+    if not snapshot:
+        return {}
+    prefetch = snapshot.get("prefetch", {})
+    outcomes = prefetch.get("outcomes", {})
+    return {
+        "Pf issued": prefetch.get("issued", 0),
+        "Pf timely": outcomes.get("timely", 0),
+        "Pf late": outcomes.get("late", 0),
+        "Pf accuracy": prefetch.get("accuracy", 0.0),
+    }

@@ -18,6 +18,7 @@ from ..machine.configs import MachineConfig
 from ..machine.interpreter import Interpreter
 from ..machine.memory import Memory
 from ..passes.prefetch import PrefetchOptions
+from ..telemetry import telemetry_enabled
 from ..workloads.base import Workload
 from .cache import RunCache, resolve_run_cache, run_key
 
@@ -48,6 +49,10 @@ class VariantResult:
     l1_hit_rate: float = 0.0
     dram_accesses: int = 0
     tlb_walks: int = 0
+    #: Telemetry snapshot dict (see docs/TELEMETRY.md) when the run was
+    #: made with telemetry enabled; ``None`` otherwise.  JSON-safe, so
+    #: it round-trips through the disk cache with the rest of the row.
+    telemetry: dict | None = None
 
     @property
     def cycles_per_iteration(self) -> float:
@@ -60,6 +65,7 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
                 options: PrefetchOptions | None = None,
                 validate: bool = True,
                 cache: RunCache | bool | None = None,
+                telemetry: bool | None = None,
                 **manual_knobs) -> VariantResult:
     """Build, execute, and validate one variant on one machine.
 
@@ -68,22 +74,30 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         On a hit, ``prepare`` still runs (it advances the workload's
         RNG, keeping later runs' inputs — and cache keys — identical to
         an uncached sequence) but simulation and validation are skipped.
+    :param telemetry: force prefetch/cycle telemetry on or off for this
+        run (``None`` = follow ``REPRO_SIM_TELEMETRY``).  Telemetry
+        never changes the measured cycles; it adds the snapshot dict to
+        the result (and to the run's cache key, so telemetry-on and
+        telemetry-off entries never alias).
     """
     module = workload.build_variant(variant, lookahead=lookahead,
                                     options=options, **manual_knobs)
     run_cache = resolve_run_cache(cache)
+    with_telemetry = telemetry_enabled(telemetry)
     hit = key = None
     if run_cache is not None:
         # Keyed before prepare(): the RNG state at this point, plus the
         # built IR, pin down the run's inputs exactly.
-        key = run_key(print_module(module), machine, workload, validate)
+        key = run_key(print_module(module), machine, workload, validate,
+                      telemetry=with_telemetry)
         hit = run_cache.get(key)
     memory = Memory(machine.line_size)
     prepared = workload.prepare(memory)
     if hit is not None:
         TELEMETRY["cached_runs"] += 1
         return VariantResult(**hit)
-    interp = Interpreter(module, memory, machine=machine)
+    interp = Interpreter(module, memory, machine=machine,
+                         telemetry=with_telemetry)
     result = interp.run(workload.entry, prepared.args)
     if validate:
         prepared.validate()
@@ -99,7 +113,8 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         iterations=prepared.iterations,
         l1_hit_rate=ms.l1.stats.hit_rate if ms else 0.0,
         dram_accesses=ms.dram.stats.accesses if ms else 0,
-        tlb_walks=ms.tlb.stats.misses if ms else 0)
+        tlb_walks=ms.tlb.stats.misses if ms else 0,
+        telemetry=result.telemetry)
     TELEMETRY["simulated_runs"] += 1
     TELEMETRY["simulated_instructions"] += out.instructions
     if run_cache is not None:
@@ -117,13 +132,15 @@ class RunSpec:
     lookahead: int = 64
     options: PrefetchOptions | None = None
     validate: bool = True
+    telemetry: bool | None = None
     manual_knobs: dict = field(default_factory=dict)
 
     def run(self, cache=None) -> VariantResult:
         """Execute this spec."""
         return run_variant(self.workload, self.variant, self.machine,
                            self.lookahead, self.options, self.validate,
-                           cache=cache, **self.manual_knobs)
+                           cache=cache, telemetry=self.telemetry,
+                           **self.manual_knobs)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:

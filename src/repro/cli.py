@@ -27,11 +27,23 @@ from .passes import (CommonSubexpressionEliminationPass,
                      PrefetchOptions, SimplifyCFGPass)
 
 
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        from . import __version__
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Software prefetching for indirect memory accesses "
                     "(CGO 2017) — compiler driver")
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     compile_cmd = sub.add_parser(
@@ -64,8 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd = sub.add_parser(
         "bench", help="run one figure's experiment and print its table")
     bench_cmd.add_argument(
-        "figure", choices=sorted(_FIGURES),
-        help="which figure to reproduce")
+        "figure",
+        help="which figure to reproduce (fig2, fig4a-d, fig5-fig10)")
     bench_cmd.add_argument(
         "--small", action="store_true",
         help="scaled-down workloads (quick smoke sizes)")
@@ -79,6 +91,35 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--cache-dir", metavar="DIR",
         help="cache root (default: REPRO_SIM_CACHE_DIR or .sim-cache)")
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="prefetch-telemetry report for a workload or figure")
+    stats_cmd.add_argument(
+        "target",
+        help="workload name (is, cg, ra, hj2, hj8, g500-s16, g500-s21), "
+             "'quick' for the whole suite, or fig4a-d for one machine's "
+             "suite")
+    stats_cmd.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine to simulate (default Haswell; ignored for "
+             "fig4a-d targets, which pin their machine)")
+    stats_cmd.add_argument(
+        "--variant", default="auto", metavar="V",
+        help="prefetched variant to profile against plain "
+             "(default auto)")
+    stats_cmd.add_argument(
+        "--lookahead", type=int, default=64, metavar="C",
+        help="look-ahead constant c of eq. (1) (default 64)")
+    stats_cmd.add_argument(
+        "--small", action="store_true",
+        help="scaled-down workloads (quick smoke sizes)")
+    stats_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of a table")
+    stats_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs")
     return parser
 
 
@@ -131,6 +172,7 @@ def _fig2(small, jobs):
 
 def _fig4(letter, small, jobs):
     from .bench.experiments import fig4_geomeans, fig4_system
+    from .bench.reporting import telemetry_summary
     from .machine import A53, A57, HASWELL, XEON_PHI
     machine = {"a": HASWELL, "b": A57, "c": A53, "d": XEON_PHI}[letter]
     include_icc = letter == "d"
@@ -145,6 +187,17 @@ def _fig4(letter, small, jobs):
         for row, r in zip(body, rows):
             row.append(r.icc)
         tail.append(gm["icc"])
+    # With REPRO_SIM_TELEMETRY=1, each auto run carries a snapshot:
+    # surface its prefetch-outcome summary alongside the speedups.
+    summaries = [telemetry_summary(r.auto_result.telemetry
+                                   if r.auto_result else None)
+                 for r in rows]
+    if any(summaries):
+        extra = list(next(s for s in summaries if s))
+        headers += [f"{h} (auto)" for h in extra]
+        for row, summary in zip(body, summaries):
+            row += [summary.get(h, "") for h in extra]
+        tail += ["" for _ in extra]
     return format_table(headers, body + [tail],
                         f"Fig. 4({letter}): speedups on {machine.name}")
 
@@ -226,13 +279,74 @@ _FIGURES = {
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
+    figure = _FIGURES.get(args.figure.lower())
+    if figure is None:
+        print(f"error: unknown figure '{args.figure}'; available: "
+              + ", ".join(sorted(_FIGURES)), file=sys.stderr)
+        return 2
     if args.no_cache:
         os.environ["REPRO_SIM_CACHE"] = "0"
     else:
         os.environ.setdefault("REPRO_SIM_CACHE", "1")
     if args.cache_dir:
         os.environ["REPRO_SIM_CACHE_DIR"] = args.cache_dir
-    print(_FIGURES[args.figure](args.small, args.jobs), file=out)
+    print(figure(args.small, args.jobs), file=out)
+    return 0
+
+
+#: fig4 letters pin their machine (paper Table 1 names).
+_FIG4_MACHINES = {"fig4a": "Haswell", "fig4b": "A57", "fig4c": "A53",
+                  "fig4d": "Xeon Phi"}
+
+
+def _stats_workloads(target: str, small: bool):
+    """Workloads selected by a ``stats`` target, or ``None``.
+
+    ``quick`` / a fig4 letter → the whole suite; otherwise one workload
+    matched by name (case- and punctuation-insensitive, so ``hj2``
+    finds HJ-2).
+    """
+    from .workloads import paper_benchmarks
+    suite = paper_benchmarks(small=small)
+    if target in ("quick", "suite", "all") or target in _FIG4_MACHINES:
+        return suite
+
+    def canon(name: str) -> str:
+        return name.lower().replace("-", "").replace("_", "")
+
+    matches = [w for w in suite if canon(w.name) == canon(target)]
+    return matches or None
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .machine.configs import system_by_name
+    from .telemetry.report import (effectiveness_rows, render_effectiveness,
+                                   report_dict)
+    target = args.target.lower()
+    workloads = _stats_workloads(target, args.small)
+    if workloads is None:
+        print(f"error: unknown stats target '{args.target}'; expected a "
+              "workload name (is, cg, ra, hj2, hj8, g500-s16, g500-s21), "
+              "'quick', or fig4a-fig4d", file=sys.stderr)
+        return 2
+    machine_name = _FIG4_MACHINES.get(target, args.machine or "Haswell")
+    try:
+        machine = system_by_name(machine_name)
+    except KeyError:
+        print(f"error: unknown machine '{machine_name}'",
+              file=sys.stderr)
+        return 2
+    rows = effectiveness_rows(workloads, machines=(machine,),
+                              variant=args.variant,
+                              lookahead=args.lookahead, jobs=args.jobs)
+    if args.json:
+        print(json.dumps(report_dict(rows), indent=2), file=out)
+    else:
+        print(render_effectiveness(
+            rows, title=f"Prefetch effectiveness — {args.variant} on "
+                        f"{machine.name}"), file=out)
     return 0
 
 
@@ -256,4 +370,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_systems(out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -8,6 +8,7 @@ small" behaviour, where a late prefetch hides only part of the miss.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -31,6 +32,13 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Demand hit rate in [0, 1]."""
         return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict:
+        """All counters plus derived rates as a plain dict."""
+        snap = dataclasses.asdict(self)
+        snap["accesses"] = self.accesses
+        snap["hit_rate"] = self.hit_rate
+        return snap
 
 
 class Cache:
@@ -111,6 +119,16 @@ class Cache:
         """Drop every line (used between benchmark repetitions)."""
         for s in self._sets:
             s.clear()
+
+    def snapshot(self) -> dict:
+        """Geometry and statistics as a plain dict (JSON-ready)."""
+        return {
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "latency": self.latency,
+            "stats": self.stats.snapshot(),
+        }
 
     def __repr__(self) -> str:
         return (f"<Cache {self.name} {self.size_bytes // 1024}KiB "

@@ -11,6 +11,7 @@ scheduling interference beyond pure occupancy.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -22,6 +23,10 @@ class DRAMStats:
     writebacks: int = 0
     busy_cycles: float = 0.0
     queue_cycles: float = 0.0
+
+    def snapshot(self) -> dict:
+        """All counters as a plain dict (stable keys, JSON-ready)."""
+        return dataclasses.asdict(self)
 
 
 class DRAMChannel:
@@ -73,3 +78,12 @@ class DRAMChannel:
         """Clear channel state between runs."""
         self._next_free = 0.0
         self.stats = DRAMStats()
+
+    def snapshot(self) -> dict:
+        """Configuration and statistics as a plain dict (JSON-ready)."""
+        return {
+            "latency": self.latency,
+            "cycles_per_line": self.cycles_per_line,
+            "sharers": self._sharers,
+            "stats": self.stats.snapshot(),
+        }

@@ -43,6 +43,16 @@ segments and stay on the dispatch path.
 
 Set ``REPRO_SIM_FASTPATH=0`` to disable fusion (and the memory-system
 hot-line memo) and force the reference slow path everywhere.
+
+Telemetry interaction (``REPRO_SIM_TELEMETRY=1``): attaching a
+:class:`~repro.telemetry.TelemetryCollector` clears the memory system's
+``fastpath`` flag, so :func:`_compile_segment` sees ``ms.fastpath``
+false and emits plain ``_ms_load``/``_ms_store``/``_ms_prefetch`` calls
+instead of the inlined hot-line hit path — every memory operation then
+takes the instrumented reference walk while ALU fusion stays on.  With
+telemetry off (the default) nothing here changes: the generated code is
+byte-for-byte what it was before telemetry existed, so the fast path
+pays zero cost for the feature.
 """
 
 from __future__ import annotations

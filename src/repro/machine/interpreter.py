@@ -25,6 +25,7 @@ from ..ir.instructions import (Alloc, BinOp, Branch, Call, Cast, Cmp, GEP,
 from ..ir.module import Module
 from ..ir.types import FloatType, IntType, PointerType, VoidType
 from ..ir.values import Argument, Constant, UndefValue, Value
+from ..telemetry.collector import TelemetryCollector, resolve_collector
 from .configs import MachineConfig
 from .core import make_core
 from .dram import DRAMChannel
@@ -304,12 +305,15 @@ class RunResult:
     :ivar stats: dynamic instruction counters.
     :ivar memory_system: the timed memory hierarchy (``None`` in
         functional mode) for cache/TLB/DRAM statistics.
+    :ivar telemetry: the finalised telemetry snapshot dict, when a
+        collector was attached (``None`` otherwise).
     """
 
     value: object
     cycles: float
     stats: RunStats
     memory_system: MemorySystem | None = None
+    telemetry: dict | None = None
 
 
 class Interpreter:
@@ -322,18 +326,28 @@ class Interpreter:
     :param dram: optionally a shared DRAM channel (multicore runs).
     :param fastpath: enable fused-block execution and the memory-system
         hot-line memo (``None`` = follow ``REPRO_SIM_FASTPATH``).
+    :param telemetry: a :class:`~repro.telemetry.TelemetryCollector`,
+        ``True``/``False`` to force telemetry on/off, or ``None`` to
+        follow ``REPRO_SIM_TELEMETRY``.  Telemetry needs a machine model
+        (it observes the memory hierarchy); a collector forces the
+        memory system onto its instrumented reference walks, which are
+        cycle-for-cycle identical to the fast path.
     """
 
     def __init__(self, module: Module, memory: Memory | None = None,
                  machine: MachineConfig | None = None,
                  dram: DRAMChannel | None = None,
-                 fastpath: bool | None = None):
+                 fastpath: bool | None = None,
+                 telemetry: "TelemetryCollector | bool | None" = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.machine = machine
         self.fastpath = fastpath_enabled(fastpath)
+        self.telemetry = (resolve_collector(telemetry)
+                          if machine is not None else None)
         self.memory_system = (
-            MemorySystem(machine, dram, fastpath=self.fastpath)
+            MemorySystem(machine, dram, fastpath=self.fastpath,
+                         telemetry=self.telemetry)
             if machine is not None else None)
         self.core = (make_core(machine, self.memory_system)
                      if machine is not None else None)
@@ -388,10 +402,15 @@ class Interpreter:
                 value = stop.value
                 break
         cycles = (self.core.cycles - cycles_before) if self.core else 0.0
+        telemetry = None
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.memory_system, self.core)
+            telemetry = self.telemetry.snapshot()
         self._result = RunResult(
             value=value[0] if value else None,
             cycles=cycles, stats=self.stats,
-            memory_system=self.memory_system)
+            memory_system=self.memory_system,
+            telemetry=telemetry)
 
     # -- the execution engine ------------------------------------------------
 

@@ -10,8 +10,9 @@ contention (Fig. 9).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 from .cache import Cache
 from .configs import MachineConfig
@@ -19,6 +20,9 @@ from .dram import DRAMChannel
 from .fastexec import fastpath_enabled
 from .hwprefetch import StridePrefetcher
 from .tlb import TLB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.collector import TelemetryCollector
 
 #: Hot-line memo entries are dropped wholesale past this size so the
 #: memo cannot outgrow the simulated working set it shadows.
@@ -34,6 +38,10 @@ class MemoryStats:
     sw_prefetches: int = 0
     sw_prefetch_dram_fills: int = 0
     hw_prefetch_fills: int = 0
+
+    def snapshot(self) -> dict:
+        """All counters as a plain dict (stable keys, JSON-ready)."""
+        return asdict(self)
 
 
 class _MSHRFile:
@@ -65,6 +73,11 @@ class MemorySystem:
         created otherwise.
     :param fastpath: enable the hot-line memo (``None`` = follow
         ``REPRO_SIM_FASTPATH``).
+    :param telemetry: a :class:`~repro.telemetry.TelemetryCollector` to
+        observe this hierarchy.  Attaching one disables the hot-line
+        memo so every access takes the instrumented reference walk —
+        cycle counts are unchanged (the walks are bit-identical; the
+        hooks are pure observation), only wall-clock speed drops.
 
     The **hot-line memo** is the demand-path fast path: ``_hot`` maps a
     line address to the ``[fill_time, dirty]`` entry list the L1 held
@@ -80,7 +93,8 @@ class MemorySystem:
 
     def __init__(self, config: MachineConfig,
                  dram: DRAMChannel | None = None,
-                 fastpath: bool | None = None):
+                 fastpath: bool | None = None,
+                 telemetry: "TelemetryCollector | None" = None):
         self.config = config
         self.line_size = config.line_size
         self.caches = [
@@ -99,7 +113,9 @@ class MemorySystem:
             degree=config.hw_prefetch_degree)
         self.mshrs = _MSHRFile(config.mshrs)
         self.stats = MemoryStats()
-        self.fastpath = fastpath_enabled(fastpath)
+        self.telemetry = telemetry
+        self.fastpath = (fastpath_enabled(fastpath)
+                         and telemetry is None)
         self._hot: dict[int, list] = {}
         self._l1 = self.caches[0]
         self._page_bits = self.tlb.page_bits
@@ -190,6 +206,7 @@ class MemorySystem:
                     lines[line] = entry
                     return time
             return self._prefetch_miss_fast(pc, addr, line, time)
+        tel = self.telemetry
         self.stats.sw_prefetches += 1
         t = self.tlb.translate(addr, time)  # prefetches do fill the TLB
         for level, cache in enumerate(self.caches):
@@ -201,6 +218,8 @@ class MemorySystem:
                     upper.insert(line, ready)
                     upper.stats.prefetch_fills += 1
                 self._memoize(line)
+                if tel is not None:
+                    tel.prefetch_redundant(pc, line, time, cache.name)
                 return time
         # Miss everywhere: bring the line from DRAM.
         start = self.mshrs.acquire(t)
@@ -212,7 +231,14 @@ class MemorySystem:
         self._memoize(line)
         # The core resumes once the request is accepted (MSHR acquired);
         # translation latency itself is off the critical path.
-        return max(time, start - (t - time))
+        accepted = max(time, start - (t - time))
+        if tel is not None:
+            if start > t:
+                tel.prefetch_dropped(pc, line, time)
+                tel.account_backpressure(accepted - time)
+            else:
+                tel.prefetch_issued(pc, line, time, done)
+        return accepted
 
     def _memoize(self, line: int) -> None:
         """Record the L1's current entry list for ``line`` (which every
@@ -423,6 +449,8 @@ class MemorySystem:
         self.stats.demand_accesses += 1
         line = addr // self.line_size
         t = self.tlb.translate(addr, time)
+        if self.telemetry is not None:
+            self.telemetry.account_translation(t - time)
         ready = self._hierarchy_access(line, t, is_write)
         self._train_hw_prefetcher(pc, line, t)
         self._memoize(line)
@@ -430,6 +458,7 @@ class MemorySystem:
 
     def _hierarchy_access(self, line: int, t: float,
                           is_write: bool = False) -> float:
+        tel = self.telemetry
         llc = self.caches[-1]
         for level, cache in enumerate(self.caches):
             fill = cache.lookup(line)
@@ -441,6 +470,8 @@ class MemorySystem:
                     # issued too late): wait out the remainder.
                     cache.stats.prefetch_hits += 1
                 ready = max(t, fill) + cache.latency
+                if tel is not None:
+                    tel.demand_hit(line, cache.name, t, fill, ready)
                 for upper in self.caches[:level]:
                     if upper.insert(line, ready) and upper is llc:
                         self.dram.writeback(t)
@@ -453,6 +484,8 @@ class MemorySystem:
         done = self.dram.access(start)
         self.mshrs.occupy(done)
         self.stats.demand_misses_to_dram += 1
+        if tel is not None:
+            tel.demand_miss(line, t, done)
         self._fill_all(line, done, dirty=is_write, request_time=start)
         return done
 
@@ -498,6 +531,20 @@ class MemorySystem:
         self.tlb.flush()
         self.prefetcher.reset()
         self._hot.clear()
+
+    def snapshot(self) -> dict:
+        """Every statistic of the hierarchy as one nested dict.
+
+        The uniform export point for telemetry, reporting, and tests —
+        callers should prefer this over reaching into per-component
+        ``stats`` attributes.
+        """
+        return {
+            "memory": self.stats.snapshot(),
+            "caches": [cache.snapshot() for cache in self.caches],
+            "tlb": self.tlb.snapshot(),
+            "dram": self.dram.snapshot(),
+        }
 
     @property
     def l1(self) -> Cache:

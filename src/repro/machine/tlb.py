@@ -21,6 +21,7 @@ the paper credits part of their benefit to exactly this side effect.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -37,6 +38,12 @@ class TLBStats:
     def accesses(self) -> int:
         """Total translations requested."""
         return self.hits + self.l2_hits + self.misses
+
+    def snapshot(self) -> dict:
+        """All counters plus the derived total as a plain dict."""
+        snap = dataclasses.asdict(self)
+        snap["accesses"] = self.accesses
+        return snap
 
 
 class TLB:
@@ -132,3 +139,13 @@ class TLB:
         self._pages.clear()
         self._l2_pages.clear()
         self._walks.clear()
+
+    def snapshot(self) -> dict:
+        """Configuration and statistics as a plain dict (JSON-ready)."""
+        return {
+            "entries": self.entries,
+            "l2_entries": self.l2_entries,
+            "page_bits": self.page_bits,
+            "max_walks": self.max_walks,
+            "stats": self.stats.snapshot(),
+        }

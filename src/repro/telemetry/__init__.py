@@ -1,0 +1,36 @@
+"""Simulation observability: prefetch outcomes and cycle accounting.
+
+The telemetry subsystem classifies every software prefetch the compiler
+pass emits — from the cycle it is issued to the first demand access that
+touches (or fails to touch) the prefetched line — and attributes demand
+latency to the hierarchy level that served it, so experiments can report
+*why* a prefetching scheme won or lost (accuracy, timeliness, coverage;
+the paper's §6 analysis and Fig. 8 overhead discussion).
+
+Telemetry is **observational only**: attaching a collector never changes
+a single simulated cycle.  It is gated by ``REPRO_SIM_TELEMETRY`` (off
+by default) because classification needs the reference hierarchy walks;
+enabling it disables the memory system's hot-line memo for that run and
+routes every access through the instrumented slow path, which the
+equivalence suite proves bit-identical.
+
+Layout:
+
+* :mod:`repro.telemetry.outcomes` — the outcome taxonomy;
+* :mod:`repro.telemetry.collector` — :class:`TelemetryCollector`, the
+  bounded event ring and aggregation tables;
+* :mod:`repro.telemetry.report` — prefetch-effectiveness reports over
+  the benchmark suite (imported on demand; it pulls in the bench
+  harness).
+"""
+
+from .collector import (TelemetryCollector, resolve_collector,
+                        telemetry_enabled)
+from .outcomes import (DROPPED, EARLY, LATE, OUTCOMES, REDUNDANT, TIMELY,
+                       UNUSED)
+
+__all__ = [
+    "TelemetryCollector", "resolve_collector", "telemetry_enabled",
+    "OUTCOMES", "TIMELY", "LATE", "EARLY", "REDUNDANT", "DROPPED",
+    "UNUSED",
+]

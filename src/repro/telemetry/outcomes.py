@@ -1,0 +1,38 @@
+"""Outcome taxonomy for software prefetches.
+
+Every software prefetch the simulator accepts is eventually binned into
+exactly one outcome, mirroring the accuracy/timeliness/coverage
+breakdowns prefetching papers evaluate against (AMC, Pickle, and the
+source paper's own look-ahead sweeps):
+
+* ``timely`` — the first demand access to the line found it resident
+  with its fill complete: the full miss latency was hidden.
+* ``late`` — the demand access arrived while the fill was still in
+  flight; only part of the latency was hidden (the residual wait is
+  accumulated as ``late_wait_cycles``).
+* ``early`` — the line was evicted (from every level) before any demand
+  access touched it; the prefetch consumed bandwidth for nothing.
+* ``redundant`` — the line was already resident (or already in flight)
+  somewhere in the hierarchy at issue time.
+* ``dropped`` — the MSHR file was full at issue; the request was only
+  accepted after stalling the core (the closest analogue of a hardware
+  drop in a model that applies backpressure instead of discarding).
+* ``unused`` — still resident but never demanded when the run ended
+  (distinguished from ``early`` so end-of-run truncation does not
+  masquerade as cache pollution).
+"""
+
+from __future__ import annotations
+
+TIMELY = "timely"
+LATE = "late"
+EARLY = "early"
+REDUNDANT = "redundant"
+DROPPED = "dropped"
+UNUSED = "unused"
+
+#: All outcomes, in reporting order.
+OUTCOMES = (TIMELY, LATE, EARLY, REDUNDANT, DROPPED, UNUSED)
+
+#: Outcomes that represent a *useful* prefetch (some latency hidden).
+USEFUL = frozenset((TIMELY, LATE))

@@ -1,0 +1,104 @@
+"""Prefetch-effectiveness report built from telemetry snapshots.
+
+Runs plain + prefetched variants with telemetry enabled and tabulates,
+per (workload, machine): the speedup, the outcome of every software
+prefetch (timely / late / early / redundant / dropped / unused), the
+derived accuracy and timeliness ratios, and the change in memory-stall
+cycles — the observability companion to the paper's Fig. 4 speedups.
+
+Imported on demand by the CLI and ``tools/telemetry_report.py`` (not
+from :mod:`repro.telemetry` itself) because it depends on
+:mod:`repro.bench`, which depends back on the telemetry gate.
+"""
+
+from __future__ import annotations
+
+from ..bench.reporting import format_table
+from ..bench.runner import RunSpec, run_specs
+from ..machine.configs import ALL_SYSTEMS, MachineConfig
+from ..workloads.base import Workload
+
+#: Columns of the rendered effectiveness table, in order.
+COLUMNS = ["Benchmark", "Machine", "Speedup", "Issued", "Timely",
+           "Late", "Early", "Redundant", "Dropped", "Unused",
+           "Accuracy", "Timeliness", "Stall Δ%"]
+
+
+def effectiveness_rows(workloads: list[Workload],
+                       machines: tuple[MachineConfig, ...] = ALL_SYSTEMS,
+                       variant: str = "auto",
+                       lookahead: int = 64,
+                       jobs: int | None = None,
+                       cache=None) -> list[dict]:
+    """Run ``plain`` and ``variant`` with telemetry on and summarise.
+
+    One row per (workload, machine).  ``stall_delta_pct`` is the change
+    in the core's memory-stall cycles (``cycles - instructions ×
+    issue_cost``) from plain to the prefetched variant — negative means
+    the prefetches removed stall time.
+    """
+    specs = []
+    for workload in workloads:
+        for machine in machines:
+            specs.append(RunSpec(workload, "plain", machine,
+                                 lookahead=lookahead, telemetry=True))
+            specs.append(RunSpec(workload, variant, machine,
+                                 lookahead=lookahead, telemetry=True))
+    results = iter(run_specs(specs, jobs=jobs, cache=cache))
+    rows = []
+    for workload in workloads:
+        for machine in machines:
+            plain, pref = next(results), next(results)
+            tel = pref.telemetry or {}
+            prefetch = tel.get("prefetch", {})
+            outcomes = prefetch.get("outcomes", {})
+            plain_core = ((plain.telemetry or {}).get("cycles", {})
+                          .get("core") or {})
+            pref_core = (tel.get("cycles", {}).get("core") or {})
+            plain_stall = plain_core.get("stall_cycles", 0.0)
+            pref_stall = pref_core.get("stall_cycles", 0.0)
+            rows.append({
+                "workload": workload.name,
+                "machine": machine.name,
+                "variant": variant,
+                "speedup": (plain.cycles / pref.cycles
+                            if pref.cycles else 0.0),
+                "issued": prefetch.get("issued", 0),
+                "outcomes": dict(outcomes),
+                "accuracy": prefetch.get("accuracy", 0.0),
+                "timeliness": prefetch.get("timeliness", 0.0),
+                "late_wait_cycles": prefetch.get("late_wait_cycles",
+                                                 0.0),
+                "cycles_by_source": dict(tel.get("cycles", {})
+                                         .get("by_source", {})),
+                "stall_cycles_plain": plain_stall,
+                "stall_cycles_prefetched": pref_stall,
+                "stall_delta_pct": (100.0 * (pref_stall / plain_stall
+                                             - 1.0)
+                                    if plain_stall else 0.0),
+            })
+    return rows
+
+
+def render_effectiveness(rows: list[dict],
+                         title: str = "Prefetch effectiveness "
+                                      "(telemetry)") -> str:
+    """The effectiveness rows as an aligned text table."""
+    body = []
+    for row in rows:
+        outcomes = row["outcomes"]
+        body.append([
+            row["workload"], row["machine"], row["speedup"],
+            row["issued"],
+            outcomes.get("timely", 0), outcomes.get("late", 0),
+            outcomes.get("early", 0), outcomes.get("redundant", 0),
+            outcomes.get("dropped", 0), outcomes.get("unused", 0),
+            row["accuracy"], row["timeliness"],
+            row["stall_delta_pct"],
+        ])
+    return format_table(COLUMNS, body, title)
+
+
+def report_dict(rows: list[dict]) -> dict:
+    """The rows wrapped in a schema-tagged, JSON-serialisable report."""
+    return {"schema": "repro-telemetry-report-v1", "rows": rows}

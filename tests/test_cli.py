@@ -86,3 +86,59 @@ class TestSystemsCommand:
         assert code == 0
         for name in ("Haswell", "A57", "A53", "Xeon Phi"):
             assert name in out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestBenchErrors:
+    def test_unknown_figure_exits_2_with_message(self, capsys):
+        code, out = run_cli("bench", "fig99")
+        assert code == 2
+        assert out == ""
+        err = capsys.readouterr().err
+        assert "unknown figure 'fig99'" in err
+        assert "fig4a" in err  # lists the available figures
+
+
+class TestStatsCommand:
+    def test_unknown_target_exits_2(self, capsys):
+        code, _ = run_cli("stats", "nonesuch")
+        assert code == 2
+        assert "unknown stats target" in capsys.readouterr().err
+
+    def test_unknown_machine_exits_2(self, capsys):
+        code, _ = run_cli("stats", "is", "--machine", "Pentium")
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_single_workload_table(self):
+        code, out = run_cli("stats", "hj2", "--small", "--jobs", "1",
+                            "--machine", "A53")
+        assert code == 0
+        assert "HJ-2" in out and "A53" in out
+        for column in ("Timely", "Late", "Early", "Redundant",
+                       "Dropped", "Unused", "Accuracy", "Stall"):
+            assert column in out
+
+    def test_json_output_parses(self):
+        import json
+        code, out = run_cli("stats", "ra", "--small", "--jobs", "1",
+                            "--json")
+        assert code == 0
+        report = json.loads(out)
+        assert report["schema"] == "repro-telemetry-report-v1"
+        (row,) = report["rows"]
+        assert row["workload"] == "RA"
+        assert row["machine"] == "Haswell"
+        assert set(row["outcomes"]) == {"timely", "late", "early",
+                                        "redundant", "dropped",
+                                        "unused"}
+        assert row["issued"] == sum(row["outcomes"].values())

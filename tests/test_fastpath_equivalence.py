@@ -120,17 +120,12 @@ def run_engine(module: Module, machine, fastpath: bool, seed: int,
 
 def snapshot(interp: Interpreter) -> dict:
     """Every observable counter of a finished run."""
-    ms = interp.memory_system
-    snap = {
+    return {
         "cycles": interp.core.cycles,
         "core_instructions": interp.core.instructions,
         "run_stats": dataclasses.asdict(interp.stats),
-        "memory": dataclasses.asdict(ms.stats),
-        "caches": [dataclasses.asdict(c.stats) for c in ms.caches],
-        "tlb": dataclasses.asdict(ms.tlb.stats),
-        "dram": dataclasses.asdict(ms.dram.stats),
+        "memory_system": interp.memory_system.snapshot(),
     }
-    return snap
 
 
 class TestRandomKernelEquivalence:
@@ -181,6 +176,59 @@ class TestWorkloadEquivalence:
             prepared.validate()
             snaps.append(snapshot(interp))
         assert snaps[0] == snaps[1]
+
+
+class TestTelemetryEquivalence:
+    """Telemetry is observational: attaching a collector must leave
+    every timing and architectural counter bit-identical, under both
+    engine paths."""
+
+    @pytest.mark.parametrize("machine", (HASWELL, A53),
+                             ids=lambda m: m.name)
+    @pytest.mark.parametrize("variant", ("plain", "auto"))
+    def test_four_combo_matrix(self, machine, variant):
+        from repro.workloads import IntegerSort
+        snaps = {}
+        for fastpath in (False, True):
+            for telemetry in (False, True):
+                wl = IntegerSort(num_keys=2000, num_buckets=1 << 14)
+                module = wl.build_variant(variant)
+                mem = Memory(machine.line_size)
+                prepared = wl.prepare(mem)
+                interp = Interpreter(module, mem, machine=machine,
+                                     fastpath=fastpath,
+                                     telemetry=telemetry)
+                result = interp.run(wl.entry, prepared.args)
+                prepared.validate()
+                if telemetry:
+                    assert result.telemetry is not None
+                else:
+                    assert result.telemetry is None
+                snaps[(fastpath, telemetry)] = snapshot(interp)
+        base = snaps[(False, False)]
+        for combo, snap in snaps.items():
+            assert snap == base, f"diverged at {combo}"
+
+    @pytest.mark.parametrize("machine", (HASWELL, XEON_PHI),
+                             ids=lambda m: m.name)
+    def test_manual_deep_chain_matrix(self, machine):
+        from repro.workloads import hj8
+        snaps = {}
+        for fastpath in (False, True):
+            for telemetry in (False, True):
+                wl = hj8(num_probes=1200, num_buckets=1 << 11)
+                module = wl.build_variant("manual")
+                mem = Memory(machine.line_size)
+                prepared = wl.prepare(mem)
+                interp = Interpreter(module, mem, machine=machine,
+                                     fastpath=fastpath,
+                                     telemetry=telemetry)
+                interp.run(wl.entry, prepared.args)
+                prepared.validate()
+                snaps[(fastpath, telemetry)] = snapshot(interp)
+        base = snaps[(False, False)]
+        for combo, snap in snaps.items():
+            assert snap == base, f"diverged at {combo}"
 
 
 class TestFastpathFlag:
