@@ -120,6 +120,37 @@ def _build_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for independent runs")
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="join compile-time prefetch remarks with runtime outcomes")
+    explain_cmd.add_argument(
+        "target",
+        help="workload name (is, cg, ra, hj2, hj8, g500-s16, g500-s21), "
+             "'quick' for the whole suite, or fig4a-d for one machine's "
+             "suite")
+    explain_cmd.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine to simulate (default Haswell; ignored for "
+             "fig4a-d targets, which pin their machine)")
+    explain_cmd.add_argument(
+        "--variant", default="auto", metavar="V",
+        help="prefetched variant to explain (default auto)")
+    explain_cmd.add_argument(
+        "--lookahead", type=int, default=64, metavar="C",
+        help="look-ahead constant c of eq. (1) (default 64)")
+    explain_cmd.add_argument(
+        "--small", action="store_true",
+        help="scaled-down workloads (quick smoke sizes)")
+    explain_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of tables")
+    explain_cmd.add_argument(
+        "--remarks-out", metavar="FILE",
+        help="also write the per-workload remark streams as JSON")
+    explain_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs")
     return parser
 
 
@@ -350,6 +381,44 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .machine.configs import system_by_name
+    from .remarks.join import explain_rows, render_explain, report_dict
+    target = args.target.lower()
+    workloads = _stats_workloads(target, args.small)
+    if workloads is None:
+        print(f"error: unknown explain target '{args.target}'; expected "
+              "a workload name (is, cg, ra, hj2, hj8, g500-s16, "
+              "g500-s21), 'quick', or fig4a-fig4d", file=sys.stderr)
+        return 2
+    machine_name = _FIG4_MACHINES.get(target, args.machine or "Haswell")
+    try:
+        machine = system_by_name(machine_name)
+    except KeyError:
+        print(f"error: unknown machine '{machine_name}'",
+              file=sys.stderr)
+        return 2
+    rows = explain_rows(workloads, machines=(machine,),
+                        variant=args.variant,
+                        lookahead=args.lookahead, jobs=args.jobs)
+    if args.remarks_out:
+        streams = {row["workload"]: row["remarks_stream"]
+                   for row in rows}
+        with open(args.remarks_out, "w") as handle:
+            json.dump({"schema": "repro-explain-remarks-v1",
+                       "machine": machine.name,
+                       "variant": args.variant,
+                       "workloads": streams}, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report_dict(rows), indent=2), file=out)
+    else:
+        print(render_explain(rows), file=out)
+    return 0
+
+
 def _cmd_systems(out) -> int:
     from .bench.experiments import table1_rows
     rows = table1_rows()
@@ -372,4 +441,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_bench(args, out)
     if args.command == "stats":
         return _cmd_stats(args, out)
+    if args.command == "explain":
+        return _cmd_explain(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -14,7 +14,7 @@ from .instructions import (Alloc, BinOp, Branch, Call, Cast, Cmp, GEP,
                            Select, Store, clone_instruction)
 from .module import Module
 from .parser import ParseError, parse_function, parse_module
-from .printer import print_function, print_instruction, print_module
+from .printer import Namer, print_function, print_instruction, print_module
 from .types import (FLOAT32, FLOAT64, INT1, INT8, INT16, INT32, INT64, VOID,
                     FloatType, FunctionType, IntType, PointerType, Type,
                     VoidType, parse_type, pointer)
@@ -27,7 +27,7 @@ __all__ = [
     "Jump", "Load", "Phi", "Prefetch", "Ret", "Select", "Store",
     "clone_instruction",
     "ParseError", "parse_function", "parse_module",
-    "print_function", "print_instruction", "print_module",
+    "Namer", "print_function", "print_instruction", "print_module",
     "FLOAT32", "FLOAT64", "INT1", "INT8", "INT16", "INT32", "INT64", "VOID",
     "FloatType", "FunctionType", "IntType", "PointerType", "Type",
     "VoidType", "parse_type", "pointer",

@@ -301,6 +301,11 @@ class Prefetch(Instruction):
 
     HAS_SIDE_EFFECTS = True  # affects the machine, must not be DCE'd
 
+    #: Stable remark ID (``pf:<function>:<n>``) assigned by the pass
+    #: that created this prefetch; the remark/telemetry join layer maps
+    #: it to the runtime PC.  ``None`` for hand-built prefetches.
+    remark_id: str | None = None
+
     def __init__(self, ptr: Value):
         if not isinstance(ptr.type, PointerType):
             raise TypeError("prefetch operand must be a pointer")

@@ -26,8 +26,14 @@ from .types import VoidType
 from .values import Argument, Constant, UndefValue, Value
 
 
-class _Namer:
-    """Assigns stable printable names to values within one function."""
+class Namer:
+    """Assigns stable printable names to values within one function.
+
+    Anonymous values receive sequential numbers in function order —
+    the numbering the printed IR shows.  Remark emission and pass
+    report summaries use the same numbering, so a ``%7`` in a remark
+    is the ``%7`` of ``--print-ir`` output.
+    """
 
     def __init__(self, func: Function):
         self._names: dict[int, str] = {}
@@ -70,7 +76,7 @@ class _Namer:
         return self.ref(value)
 
 
-def print_instruction(inst: Instruction, namer: _Namer) -> str:
+def print_instruction(inst: Instruction, namer: Namer) -> str:
     """Render one instruction to its textual form."""
     r = namer.ref
     if isinstance(inst, BinOp):
@@ -116,9 +122,13 @@ def print_instruction(inst: Instruction, namer: _Namer) -> str:
     raise TypeError(f"unknown instruction {inst.opcode}")
 
 
+#: Backwards-compatible alias of :class:`Namer`.
+_Namer = Namer
+
+
 def print_function(func: Function) -> str:
     """Render a function and its blocks to text."""
-    namer = _Namer(func)
+    namer = Namer(func)
     params = ", ".join(f"%{a.name}: {a.type}" for a in func.args)
     attrs = " pure" if func.pure else ""
     lines = [f"func{attrs} @{func.name}({params}) -> {func.return_type} {{"]

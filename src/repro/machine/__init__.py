@@ -12,7 +12,8 @@ from .configs import (A53, A57, ALL_SYSTEMS, HASWELL, XEON_PHI, CacheConfig,
 from .core import InOrderCore, OutOfOrderCore, make_core
 from .dram import DRAMChannel, DRAMStats
 from .hwprefetch import StridePrefetcher
-from .interpreter import Interpreter, RunResult, RunStats
+from .interpreter import (Interpreter, RunResult, RunStats,
+                          static_prefetch_pcs)
 from .memory import Allocation, Memory, MemoryFault
 from .multicore import MulticoreResult, run_multicore
 from .system import MemoryStats, MemorySystem
@@ -25,7 +26,7 @@ __all__ = [
     "InOrderCore", "OutOfOrderCore", "make_core",
     "DRAMChannel", "DRAMStats",
     "StridePrefetcher",
-    "Interpreter", "RunResult", "RunStats",
+    "Interpreter", "RunResult", "RunStats", "static_prefetch_pcs",
     "Allocation", "Memory", "MemoryFault",
     "MulticoreResult", "run_multicore",
     "MemoryStats", "MemorySystem",

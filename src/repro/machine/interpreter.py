@@ -154,10 +154,14 @@ class _CompiledFunction:
     """Slot-machine form of one function."""
 
     __slots__ = ("function", "num_slots", "arg_slots", "blocks",
-                 "block_names")
+                 "block_names", "prefetch_pcs")
 
     def __init__(self, func: Function, pc_base: int):
         self.function = func
+        #: remark_id -> pc for prefetches carrying a stable id (set by
+        #: the prefetch passes); the join layer maps compile-time
+        #: remarks to runtime per-PC telemetry bins through this.
+        self.prefetch_pcs: dict[str, int] = {}
         slots: dict[int, int] = {}
 
         def slot(value: Value) -> int:
@@ -234,6 +238,8 @@ class _CompiledFunction:
                         [None]))
                 elif isinstance(inst, Prefetch):
                     compiled.append((_PREFETCH, pc, *spec(inst.ptr)))
+                    if inst.remark_id is not None:
+                        self.prefetch_pcs[inst.remark_id] = pc
                 elif isinstance(inst, Call):
                     compiled.append((
                         _CALL,
@@ -373,6 +379,18 @@ class Interpreter:
         return compiled
 
     # -- public API -----------------------------------------------------
+
+    def prefetch_pc_map(self) -> dict[str, int]:
+        """remark_id -> runtime PC for every prefetch compiled so far.
+
+        Only functions that have actually been compiled (the entry, and
+        callees reached during execution) contribute entries.  For the
+        same mapping without running, see :func:`static_prefetch_pcs`.
+        """
+        pcs: dict[str, int] = {}
+        for compiled in self._compiled.values():
+            pcs.update(compiled.prefetch_pcs)
+        return pcs
 
     def run(self, func_name: str, args: list | None = None) -> RunResult:
         """Execute ``func_name`` to completion and return the result."""
@@ -627,3 +645,39 @@ class Interpreter:
         else:
             for (dst, _, _), value in zip(moves, values):
                 regs[dst] = value
+
+
+def static_prefetch_pcs(module: Module, entry: str = "kernel"
+                        ) -> dict[str, int]:
+    """Predict remark_id -> PC without executing ``module``.
+
+    The interpreter compiles functions lazily — the entry up front,
+    then each callee at its first dynamic call — and assigns each
+    function a contiguous PC span in compile order.  This emulates that
+    order statically: the entry first, then callees in first-static-
+    call-site pre-order, which matches the dynamic order whenever calls
+    execute in block order (true of every bundled workload).
+    """
+    by_name = {f.name: f for f in module.functions}
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in seen or name not in by_name:
+            return
+        seen.add(name)
+        order.append(name)
+        for block in by_name[name].blocks:
+            for inst in block:
+                if isinstance(inst, Call):
+                    visit(inst.callee.name)
+
+    visit(entry)
+    pcs: dict[str, int] = {}
+    pc_base = 0
+    for name in order:
+        func = by_name[name]
+        compiled = _CompiledFunction(func, pc_base)
+        pcs.update(compiled.prefetch_pcs)
+        pc_base += sum(len(b) for b in func.blocks) + 16
+    return pcs

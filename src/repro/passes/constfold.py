@@ -11,8 +11,10 @@ from __future__ import annotations
 from ..ir.function import Function
 from ..ir.instructions import BinOp, Cast, Cmp, Instruction, Select
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.types import FloatType, IntType
 from ..ir.values import Constant, Value
+from ..remarks import active_emitter, emit
 
 _INT_FOLDS = {
     "add": lambda a, b: a + b,
@@ -74,6 +76,7 @@ class ConstantFoldingPass:
 
     def run_on_function(self, func: Function) -> int:
         """Run on one function; returns the number of folds."""
+        namer = Namer(func) if active_emitter() is not None else None
         folded = 0
         changed = True
         while changed:
@@ -82,6 +85,12 @@ class ConstantFoldingPass:
                 for inst in block.instructions:
                     replacement = self._fold(inst)
                     if replacement is not None:
+                        if namer is not None:
+                            emit("passed", self.name, "ConstantFolded",
+                                 function=func.name,
+                                 instruction=namer.ref(inst),
+                                 opcode=inst.opcode,
+                                 replaced_by=namer.ref(replacement))
                         inst.replace_all_uses_with(replacement)
                         inst.erase()
                         folded += 1

@@ -18,7 +18,9 @@ from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (BinOp, Cast, Cmp, GEP, Instruction, Select)
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.values import Constant, Value
+from ..remarks import active_emitter, emit
 
 #: Commutative binary opcodes (operands sorted into canonical order).
 _COMMUTATIVE = ("add", "mul", "and", "or", "xor", "fadd", "fmul")
@@ -60,6 +62,7 @@ class CommonSubexpressionEliminationPass:
 
     def run_on_function(self, func: Function) -> int:
         """Run on one function; returns instructions eliminated."""
+        namer = Namer(func) if active_emitter() is not None else None
         idom = dominators(func)
         children: dict[BasicBlock, list[BasicBlock]] = {}
         for block, parent in idom.items():
@@ -78,6 +81,13 @@ class CommonSubexpressionEliminationPass:
                     continue
                 existing = scope.get(key)
                 if existing is not None:
+                    if namer is not None:
+                        emit("passed", self.name,
+                             "RedundantExpressionEliminated",
+                             function=func.name,
+                             instruction=namer.ref(inst),
+                             opcode=inst.opcode,
+                             replaced_by=namer.ref(existing))
                     inst.replace_all_uses_with(existing)
                     inst.erase()
                     removed += 1

@@ -10,7 +10,9 @@ from __future__ import annotations
 from ..ir.function import Function
 from ..ir.instructions import Instruction
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.types import VoidType
+from ..remarks import active_emitter, emit
 
 
 class DeadCodeEliminationPass:
@@ -24,6 +26,7 @@ class DeadCodeEliminationPass:
 
     def run_on_function(self, func: Function) -> int:
         """Run on one function; returns the number of deletions."""
+        namer = Namer(func) if active_emitter() is not None else None
         removed = 0
         changed = True
         while changed:
@@ -31,6 +34,12 @@ class DeadCodeEliminationPass:
             for block in func.blocks:
                 for inst in reversed(block.instructions):
                     if self._is_dead(inst):
+                        if namer is not None:
+                            emit("passed", self.name,
+                                 "DeadInstructionRemoved",
+                                 function=func.name,
+                                 instruction=namer.ref(inst),
+                                 opcode=inst.opcode)
                         inst.erase()
                         removed += 1
                         changed = True

@@ -20,7 +20,9 @@ from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (BinOp, Cast, Cmp, GEP, Instruction, Select)
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.values import Argument, Constant, UndefValue, Value
+from ..remarks import active_emitter, emit
 
 #: Division and remainder can trap on zero; never speculate them.
 _TRAPPING = ("sdiv", "srem", "udiv", "urem", "fdiv")
@@ -39,13 +41,15 @@ class LoopInvariantCodeMotionPass:
         """Run on one function; returns instructions hoisted."""
         hoisted = 0
         info = LoopInfo(func)
+        namer = Namer(func) if active_emitter() is not None else None
         # Innermost first, so nested invariants bubble outwards across
         # the fixed-point iterations.
         for loop in sorted(info.loops, key=lambda l: -l.depth):
-            hoisted += self._hoist_loop(loop)
+            hoisted += self._hoist_loop(loop, func, namer)
         return hoisted
 
-    def _hoist_loop(self, loop: Loop) -> int:
+    def _hoist_loop(self, loop: Loop, func: Function,
+                    namer: Namer | None) -> int:
         preheader = loop.preheader
         if preheader is None or preheader.terminator is None:
             return 0
@@ -61,6 +65,14 @@ class LoopInvariantCodeMotionPass:
                         preheader.insert_before(insertion, inst)
                         hoisted += 1
                         changed = True
+                        if namer is not None:
+                            emit("passed", self.name,
+                                 "LoopInvariantHoisted",
+                                 function=func.name,
+                                 instruction=namer.ref(inst),
+                                 opcode=inst.opcode,
+                                 loop=loop.header.name,
+                                 to=preheader.name)
         return hoisted
 
     def _can_hoist(self, inst: Instruction, loop: Loop) -> bool:

@@ -14,7 +14,9 @@ from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Alloc, Instruction, Load, Phi, Store
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.values import Constant, UndefValue, Value
+from ..remarks import active_emitter, emit
 
 
 class Mem2RegPass:
@@ -40,7 +42,15 @@ class Mem2RegPass:
             if parent is not None:
                 children[parent].append(block)
 
+        namer = Namer(func) if active_emitter() is not None else None
         for slot in slots:
+            if namer is not None:
+                emit("passed", self.name, "SlotPromoted",
+                     function=func.name, slot=namer.ref(slot),
+                     loads=sum(1 for u, _ in slot.uses
+                               if isinstance(u, Load)),
+                     stores=sum(1 for u, _ in slot.uses
+                                if isinstance(u, Store)))
             self._promote(func, slot, idom, frontiers, children)
         return len(slots)
 

@@ -1,13 +1,33 @@
-"""A minimal sequential pass manager.
+"""An instrumented sequential pass manager.
 
 Runs a list of passes over a module, optionally verifying the IR between
-passes, and collects each pass's report keyed by pass name.
+passes, and collects each pass's report keyed by pass name.  When a
+remark emitter is installed — either passed to the constructor or
+already active via :func:`repro.remarks.collecting` — the manager also
+records per-pass instrumentation: wall time and IR-size deltas
+(instructions and blocks before → after), emitted as ``PassExecuted``
+analysis remarks.  With no emitter anywhere, the run loop is exactly
+the uninstrumented original: no timing calls, no IR walks.
 """
 
 from __future__ import annotations
 
+import time
+
 from ..ir.module import Module
 from ..ir.verifier import verify_module
+from ..remarks import (RemarkEmitter, active_emitter, collecting, emit)
+
+
+def _ir_size(module: Module) -> tuple[int, int]:
+    """(instruction count, block count) of a module."""
+    instructions = 0
+    blocks = 0
+    for func in module.functions:
+        blocks += len(func.blocks)
+        for block in func.blocks:
+            instructions += len(block)
+    return instructions, blocks
 
 
 class PassManager:
@@ -15,11 +35,16 @@ class PassManager:
 
     :param verify_between: run the IR verifier after each pass (cheap for
         the module sizes in this project, and catches pass bugs early).
+    :param emitter: a :class:`~repro.remarks.RemarkEmitter` to collect
+        optimization remarks and per-pass instrumentation.  ``None``
+        (the default) uses whatever emitter is already active, if any.
     """
 
-    def __init__(self, verify_between: bool = True):
+    def __init__(self, verify_between: bool = True,
+                 emitter: RemarkEmitter | None = None):
         self._passes: list = []
         self.verify_between = verify_between
+        self.emitter = emitter
 
     def add(self, pass_) -> "PassManager":
         """Append a pass; returns self for chaining."""
@@ -36,9 +61,26 @@ class PassManager:
 
     def run(self, module: Module) -> dict[str, object]:
         """Run all passes; returns {pass name: report} in run order."""
+        if self.emitter is not None:
+            with collecting(self.emitter):
+                return self._run(module, instrumented=True)
+        return self._run(module, instrumented=active_emitter() is not None)
+
+    def _run(self, module: Module, instrumented: bool) -> dict[str, object]:
         reports: dict[str, object] = {}
         for pass_ in self._passes:
+            if instrumented:
+                insts_before, blocks_before = _ir_size(module)
+                start = time.perf_counter()
             reports[pass_.name] = pass_.run(module)
+            if instrumented:
+                wall_us = int((time.perf_counter() - start) * 1e6)
+                insts_after, blocks_after = _ir_size(module)
+                emit("analysis", pass_.name, "PassExecuted",
+                     wall_us=wall_us,
+                     insts_before=insts_before, insts_after=insts_after,
+                     blocks_before=blocks_before,
+                     blocks_after=blocks_after)
             if self.verify_between:
                 verify_module(module)
         return reports

@@ -22,7 +22,9 @@ from ...analysis.sideeffects import SideEffectAnalysis
 from ...ir.function import Function
 from ...ir.instructions import Load
 from ...ir.module import Module
+from ...ir.printer import Namer
 from ...ir.verifier import verify_function
+from ...remarks import active_emitter, emit
 from ..analysis_bundle import FunctionAnalyses
 from .dfs import ChainSearchResult, chain_loads, find_chain
 from .legality import (ClampBound, LegalityResult, RejectReason, check_chain)
@@ -122,25 +124,31 @@ class PrefetchReport:
         return [r for f in self.functions for r in f.rejected]
 
     def summary(self) -> str:
-        """Human-readable description of what the pass did."""
+        """Human-readable description of what the pass did.
+
+        Loads are named with the IR printer's stable numbering, so an
+        anonymous load prints as the ``%<n>`` the printed IR shows
+        rather than an ambiguous ``%load``.
+        """
         lines = []
         for freport in self.functions:
+            namer = Namer(freport.function)
             lines.append(f"function @{freport.function.name}:")
             for acc in freport.accepted:
                 offsets = ", ".join(
                     f"l={s.position}@+{s.offset}" for s in acc.schedules)
                 lines.append(
-                    f"  prefetched %{acc.load.name or 'load'} "
+                    f"  prefetched {namer.ref(acc.load)} "
                     f"(t={acc.num_loads}, clamp={acc.clamp.source}, "
                     f"{offsets})")
             for rej in freport.rejected:
                 detail = f" ({rej.detail})" if rej.detail else ""
                 lines.append(
-                    f"  rejected %{rej.load.name or 'load'}: "
+                    f"  rejected {namer.ref(rej.load)}: "
                     f"{rej.reason.value}{detail}")
             for load in freport.subsumed:
                 lines.append(
-                    f"  %{load.name or 'load'} covered by a longer chain")
+                    f"  {namer.ref(load)} covered by a longer chain")
         return "\n".join(lines) if lines else "(nothing to do)"
 
 
@@ -174,8 +182,10 @@ class IndirectPrefetchPass:
                  if isinstance(inst, Load) and analyses.loop_info.loop_of(
                      inst) is not None]
 
-        # Phase 1: DFS + legality for every load.
+        # Phase 1: DFS + legality for every load.  Chains of rejected
+        # loads are kept so their DFS paths can be reported in remarks.
         chains: list[tuple[Load, ChainSearchResult, LegalityResult]] = []
+        rejected_chains: dict[int, ChainSearchResult] = {}
         for load in loads:
             chain = find_chain(load, analyses)
             if chain is None:
@@ -189,6 +199,7 @@ class IndirectPrefetchPass:
             if not legality.ok:
                 report.rejected.append(RejectedLoad(
                     load, legality.reason, legality.detail))
+                rejected_chains[id(load)] = chain
                 continue
             chains.append((load, chain, legality))
 
@@ -224,9 +235,81 @@ class IndirectPrefetchPass:
             report.hoisted = hoist_inner_loop_prefetches(
                 func, report, self.options)
 
+        # Stable per-prefetch IDs, assigned in emission order.  The
+        # join layer (repro explain) maps them to runtime PCs, so they
+        # are attached whether or not remarks are being collected.
+        sequence = 0
+        for acc in report.accepted:
+            for emitted in acc.emitted:
+                emitted.prefetch.remark_id = f"pf:{func.name}:{sequence}"
+                sequence += 1
+        for hoist in report.hoisted:
+            hoist.prefetch.remark_id = f"pf:{func.name}:{sequence}"
+            sequence += 1
+
+        if active_emitter() is not None:
+            self._emit_remarks(func, report, rejected_chains)
+
         if self.options.verify:
             verify_function(func)
         return report
+
+    def _emit_remarks(self, func: Function, report: FunctionReport,
+                      rejected_chains: dict[int, ChainSearchResult]
+                      ) -> None:
+        """Emit one remark per decision this run of the pass made.
+
+        Names use the IR printer's stable numbering of the *transformed*
+        function, matching ``report.summary()`` and ``--print-ir``.
+        """
+        namer = Namer(func)
+        c = self.options.lookahead
+        for rej in report.rejected:
+            chain = rejected_chains.get(id(rej.load))
+            emit("missed", self.name, "PrefetchRejected",
+                 function=func.name, load=namer.ref(rej.load),
+                 reason=rej.reason.name, detail=rej.detail,
+                 path=[namer.ref(i) for i in chain.instructions]
+                 if chain else [])
+        for load in report.subsumed:
+            emit("analysis", self.name, "PrefetchSubsumed",
+                 function=func.name, load=namer.ref(load))
+        for acc in report.accepted:
+            loads_in_chain = chain_loads(acc.chain)
+            emit("passed", self.name, "PrefetchChainAccepted",
+                 function=func.name, load=namer.ref(acc.load),
+                 iv=namer.ref(acc.chain.iv.phi), t=acc.num_loads, c=c,
+                 clamp_source=acc.clamp.source,
+                 clamp_bound=namer.ref(acc.clamp.value),
+                 chain=[namer.ref(i) for i in acc.chain.instructions])
+            for emitted in acc.emitted:
+                # offset = max(1, c*(t-l)//t), eq. (1); the inputs are
+                # recorded so the join layer can tell the whole story.
+                emit("passed", self.name, "PrefetchInserted",
+                     function=func.name,
+                     prefetch_id=emitted.prefetch.remark_id,
+                     covered_load=namer.ref(
+                         loads_in_chain[emitted.position]),
+                     position=emitted.position, offset=emitted.offset,
+                     t=acc.num_loads, c=c,
+                     clamp_source=(acc.clamp.source
+                                   if emitted.position >= 1 else "none"),
+                     new_instructions=len(emitted.new_instructions))
+        for hoist in report.hoisted:
+            emit("passed", self.name, "PrefetchHoisted",
+                 function=func.name,
+                 prefetch_id=hoist.prefetch.remark_id,
+                 load=namer.ref(hoist.load),
+                 block=(hoist.prefetch.parent.name
+                        if hoist.prefetch.parent else ""),
+                 new_instructions=len(hoist.new_instructions))
+        if self.options.enable_hoisting:
+            hoisted = {id(h.load) for h in report.hoisted}
+            for rej in report.rejected:
+                if rej.reason is RejectReason.NON_INDUCTION_PHI and \
+                        id(rej.load) not in hoisted:
+                    emit("missed", self.name, "PrefetchHoistRejected",
+                         function=func.name, load=namer.ref(rej.load))
 
     @staticmethod
     def _select_maximal(chains, report: FunctionReport):

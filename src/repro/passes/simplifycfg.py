@@ -20,6 +20,7 @@ from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Branch, Jump, Phi
 from ..ir.module import Module
+from ..remarks import emit
 
 
 class SimplifyCFGPass:
@@ -51,8 +52,7 @@ class SimplifyCFGPass:
 
     # -- unreachable blocks ----------------------------------------------
 
-    @staticmethod
-    def _drop_unreachable(func: Function) -> int:
+    def _drop_unreachable(self, func: Function) -> int:
         reachable: set[int] = set()
         stack = [func.entry]
         while stack:
@@ -63,6 +63,8 @@ class SimplifyCFGPass:
             stack.extend(block.successors)
         dead = [b for b in func.blocks if id(b) not in reachable]
         for block in dead:
+            emit("passed", self.name, "UnreachableBlockRemoved",
+                 function=func.name, block=block.name)
             # Detach phi edges in still-reachable successors first.
             for succ in block.successors:
                 if id(succ) in reachable:
@@ -88,8 +90,7 @@ class SimplifyCFGPass:
 
     # -- merging -------------------------------------------------------------
 
-    @staticmethod
-    def _merge_into_predecessor(func: Function,
+    def _merge_into_predecessor(self, func: Function,
                                 block: BasicBlock) -> bool:
         term = block.terminator
         if not isinstance(term, Jump):
@@ -99,6 +100,8 @@ class SimplifyCFGPass:
             return False
         if len(succ.predecessors) != 1:
             return False
+        emit("passed", self.name, "BlockMerged",
+             function=func.name, block=succ.name, into=block.name)
         # Fold single-incoming phis, then splice.
         for phi in list(succ.phis):
             phi.replace_all_uses_with(phi.incoming_for_block(block))
@@ -122,8 +125,7 @@ class SimplifyCFGPass:
 
     # -- forwarding blocks ------------------------------------------------------
 
-    @staticmethod
-    def _bypass_forwarding_block(func: Function,
+    def _bypass_forwarding_block(self, func: Function,
                                  block: BasicBlock) -> bool:
         if block is func.entry or len(block) != 1:
             return False
@@ -148,6 +150,8 @@ class SimplifyCFGPass:
                     pterm.then_block is block and \
                     pterm.else_block is block and target.phis:
                 return False
+        emit("passed", self.name, "ForwardingBlockRemoved",
+             function=func.name, block=block.name, target=target.name)
         for phi in target.phis:
             incoming = phi.incoming_for_block(block)
             index = phi.incoming_blocks.index(block)

@@ -23,11 +23,13 @@ from dataclasses import dataclass, field
 from ..analysis.allocsize import known_array_bound
 from ..ir.builder import IRBuilder
 from ..ir.function import Function
-from ..ir.instructions import Cast, GEP, Instruction, Load
+from ..ir.instructions import Cast, GEP, Instruction, Load, Prefetch
 from ..ir.module import Module
+from ..ir.printer import Namer
 from ..ir.types import IntType
 from ..ir.values import Constant
 from ..ir.verifier import verify_function
+from ..remarks import active_emitter, emit
 from .analysis_bundle import FunctionAnalyses
 from .prefetch.scheduling import DEFAULT_LOOKAHEAD, offset_for
 
@@ -68,14 +70,34 @@ class StrideIndirectBaselinePass:
         analyses = FunctionAnalyses(func)
         loads = [i for i in func.instructions() if isinstance(i, Load)
                  and analyses.loop_info.loop_of(i) is not None]
+        skipped: list[tuple[Load, str]] = []
+        inserted: list[tuple[Load, list[Prefetch]]] = []
+        sequence = 0
         for load in loads:
             match = self._match(load, analyses)
             if isinstance(match, str):
                 report.skipped.append((load, match))
+                skipped.append((load, match))
                 continue
             base_load, iv = match
-            self._emit(load, base_load, iv)
+            prefetches = self._emit(load, base_load, iv)
+            for prefetch in prefetches:
+                prefetch.remark_id = f"pf:{func.name}:{sequence}"
+                sequence += 1
             report.prefetched.append(load)
+            inserted.append((load, prefetches))
+        if active_emitter() is not None:
+            namer = Namer(func)
+            for load, reason in skipped:
+                emit("missed", self.name, "BaselineSkipped",
+                     function=func.name, load=namer.ref(load),
+                     reason=reason)
+            for load, prefetches in inserted:
+                for prefetch in prefetches:
+                    emit("passed", self.name, "BaselinePrefetchInserted",
+                         function=func.name,
+                         prefetch_id=prefetch.remark_id,
+                         load=namer.ref(load), c=self.lookahead)
         verify_function(func)
         return report
 
@@ -106,7 +128,7 @@ class StrideIndirectBaselinePass:
             return "target array size unknown"
         return inner, iv
 
-    def _emit(self, load: Load, base_load: Load, iv) -> None:
+    def _emit(self, load: Load, base_load: Load, iv) -> list[Prefetch]:
         """Emit the two staggered prefetches for a matched pattern."""
         builder = IRBuilder()
         builder.set_insert_point(load.parent, before=load)
@@ -132,11 +154,12 @@ class StrideIndirectBaselinePass:
             index_value = builder.cast(outer_index.opcode, a_val,
                                        outer_index.type, "icc.ix")
         b_ptr = builder.gep(target_gep.base, index_value, "icc.bp")
-        builder.prefetch(b_ptr)
+        indirect = builder.prefetch(b_ptr)
 
         # Stride prefetch of the look-ahead array at c.
         off0 = offset_for(0, 2, self.lookahead)
         iv_off0 = builder.add(iv.phi, builder.const(off0, iv_type),
                               "icc.iv0")
         a_ptr0 = builder.gep(base_gep.base, iv_off0, "icc.ap0")
-        builder.prefetch(a_ptr0)
+        stride = builder.prefetch(a_ptr0)
+        return [indirect, stride]

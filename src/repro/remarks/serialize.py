@@ -1,0 +1,124 @@
+"""Remark serialization: schema-tagged JSON stream, parser, renderer.
+
+The wire form is JSON-lines: a header object tagging the schema,
+followed by one compact JSON object per remark, in emission order::
+
+    {"schema": "repro-remarks-v1"}
+    {"kind": "passed", "pass": "indirect-prefetch", "name": ...}
+    ...
+
+Emission order is deterministic (it follows module/function/candidate
+iteration order), so two compilations of the same input produce
+byte-identical streams apart from wall-clock args — which
+:func:`canonical_stream` zeroes for determinism comparisons.  The
+parser preserves key order, making ``dumps_stream(parse_stream(s)) ==
+s`` exact (the round-trip contract the tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .remark import (KINDS, KNOWN_REMARKS, Remark, VOLATILE_ARG_KEYS)
+
+#: Schema tag of the remark stream format.
+SCHEMA = "repro-remarks-v1"
+
+
+def remark_to_dict(remark: Remark) -> dict:
+    """The JSON object form of one remark (fixed key order)."""
+    out: dict = {
+        "kind": remark.kind,
+        "pass": remark.pass_name,
+        "name": remark.name,
+    }
+    if remark.function:
+        out["function"] = remark.function
+    if remark.prefetch_id is not None:
+        out["prefetch_id"] = remark.prefetch_id
+    out["args"] = {k: v for k, v in remark.args}
+    return out
+
+
+def remark_from_dict(data: dict) -> Remark:
+    """Rebuild a :class:`Remark` from its JSON object form."""
+    validate_remark_dict(data)
+    return Remark(kind=data["kind"], pass_name=data["pass"],
+                  name=data["name"],
+                  function=data.get("function", ""),
+                  args=tuple(data.get("args", {}).items()),
+                  prefetch_id=data.get("prefetch_id"))
+
+
+def validate_remark_dict(data: dict) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed remark.
+
+    Enforced: required string fields, a known kind, a registered name
+    (unknown names mean the producer and this consumer disagree about
+    the schema — fail loudly), and a dict of args.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"remark must be an object, got {data!r}")
+    for field in ("kind", "pass", "name"):
+        if not isinstance(data.get(field), str):
+            raise ValueError(f"remark missing string field {field!r}: "
+                             f"{data!r}")
+    if data["kind"] not in KINDS:
+        raise ValueError(f"unknown remark kind {data['kind']!r}")
+    if data["name"] not in KNOWN_REMARKS:
+        raise ValueError(f"unknown remark name {data['name']!r}")
+    if not isinstance(data.get("args", {}), dict):
+        raise ValueError(f"remark args must be an object: {data!r}")
+
+
+def _dump_line(obj: dict) -> str:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+
+def dumps_stream(remarks: list[Remark]) -> str:
+    """Serialise remarks to the JSON-lines stream (with header)."""
+    lines = [_dump_line({"schema": SCHEMA})]
+    lines.extend(_dump_line(remark_to_dict(r)) for r in remarks)
+    return "\n".join(lines) + "\n"
+
+
+def parse_stream(text: str) -> list[Remark]:
+    """Parse a stream produced by :func:`dumps_stream`.
+
+    Validates the schema header and every remark line; raises
+    ``ValueError`` on an unknown schema, kind, or remark name.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty remark stream")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise ValueError(f"bad remark stream header: {lines[0]!r}")
+    return [remark_from_dict(json.loads(line)) for line in lines[1:]]
+
+
+def canonical_stream(text: str) -> str:
+    """The stream with volatile (wall-clock) args zeroed.
+
+    Two compilations of the same input must produce identical canonical
+    streams; the CI determinism check compares these bytes.
+    """
+    out = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        args = obj.get("args")
+        if isinstance(args, dict):
+            for key in VOLATILE_ARG_KEYS:
+                if key in args:
+                    args[key] = 0
+        out.append(_dump_line(obj))
+    return "\n".join(out) + "\n"
+
+
+def render_remarks(remarks: list[Remark], title: str = "") -> str:
+    """Human-readable rendering, one line per remark."""
+    lines = [title] if title else []
+    lines.extend(r.message for r in remarks)
+    return "\n".join(lines) if lines else "(no remarks)"

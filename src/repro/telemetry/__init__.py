@@ -24,13 +24,15 @@ Layout:
   harness).
 """
 
-from .collector import (TelemetryCollector, resolve_collector,
-                        telemetry_enabled)
+from .collector import (DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY,
+                        TelemetryCollector, resolve_collector,
+                        ring_capacity, telemetry_enabled)
 from .outcomes import (DROPPED, EARLY, LATE, OUTCOMES, REDUNDANT, TIMELY,
                        UNUSED)
 
 __all__ = [
     "TelemetryCollector", "resolve_collector", "telemetry_enabled",
+    "ring_capacity", "DEFAULT_RING_CAPACITY", "MAX_RING_CAPACITY",
     "OUTCOMES", "TIMELY", "LATE", "EARLY", "REDUNDANT", "DROPPED",
     "UNUSED",
 ]

@@ -18,13 +18,19 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from collections import deque
 
+from ..remarks import emit
 from .outcomes import (DROPPED, EARLY, LATE, OUTCOMES, REDUNDANT, TIMELY,
                        UNUSED)
 
 #: Default event ring capacity (events beyond this evict the oldest).
 DEFAULT_RING_CAPACITY = 4096
+
+#: Upper bound on the event ring; larger requests are clamped (each
+#: event is a dict — millions of them would dwarf the simulation).
+MAX_RING_CAPACITY = 1 << 20
 
 
 def telemetry_enabled(explicit: bool | None = None) -> bool:
@@ -35,13 +41,43 @@ def telemetry_enabled(explicit: bool | None = None) -> bool:
     return os.environ.get("REPRO_SIM_TELEMETRY", "0") == "1"
 
 
+def _ring_fallback(raw: str, used: int, reason: str) -> int:
+    """Report an out-of-range ``REPRO_SIM_TELEMETRY_RING`` and carry on.
+
+    A bad value must never abort a run: it produces a Python warning
+    plus (when remarks are being collected) a ``TelemetryRingClamped``
+    warning remark, and the clamped/default capacity is used.
+    """
+    warnings.warn(
+        f"REPRO_SIM_TELEMETRY_RING={raw!r} is {reason}; "
+        f"using {used}", RuntimeWarning, stacklevel=3)
+    emit("warning", "telemetry", "TelemetryRingClamped",
+         value=raw, used=used, reason=reason)
+    return used
+
+
 def ring_capacity() -> int:
-    """Event-ring capacity honouring ``REPRO_SIM_TELEMETRY_RING``."""
-    try:
-        cap = int(os.environ.get("REPRO_SIM_TELEMETRY_RING", ""))
-    except ValueError:
+    """Event-ring capacity honouring ``REPRO_SIM_TELEMETRY_RING``.
+
+    Invalid values fall back to :data:`DEFAULT_RING_CAPACITY` and
+    oversized ones clamp to :data:`MAX_RING_CAPACITY`, in both cases
+    with a warning (and a remark when collecting) instead of a crash.
+    """
+    raw = os.environ.get("REPRO_SIM_TELEMETRY_RING")
+    if not raw:
         return DEFAULT_RING_CAPACITY
-    return cap if cap > 0 else DEFAULT_RING_CAPACITY
+    try:
+        cap = int(raw)
+    except ValueError:
+        return _ring_fallback(raw, DEFAULT_RING_CAPACITY,
+                              "not an integer")
+    if cap <= 0:
+        return _ring_fallback(raw, DEFAULT_RING_CAPACITY,
+                              "not positive")
+    if cap > MAX_RING_CAPACITY:
+        return _ring_fallback(raw, MAX_RING_CAPACITY,
+                              "above the maximum")
+    return cap
 
 
 def resolve_collector(telemetry) -> "TelemetryCollector | None":

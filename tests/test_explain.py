@@ -1,0 +1,124 @@
+"""Tests for the compile-time ⋈ runtime join behind ``repro explain``:
+remark collection leaves the module byte-identical, stable prefetch IDs
+land on runtime PCs with observed outcome bins, and the CLI surfaces
+the join as a table / JSON / archived remark streams."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.machine import HASWELL
+from repro.remarks import parse_stream
+from repro.remarks.join import (INSERTION_REMARKS, collect_remarks,
+                                explain_rows, render_explain,
+                                report_dict)
+from repro.telemetry.outcomes import OUTCOMES
+from repro.workloads import IntegerSort
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def tiny_is() -> IntegerSort:
+    return IntegerSort(num_keys=2000, num_buckets=1 << 16)
+
+
+class TestCollectRemarks:
+    def test_module_identical_to_uncollected_build(self):
+        observed, emitter = collect_remarks(tiny_is(), "auto")
+        plain = tiny_is().build_variant("auto", lookahead=64)
+        from repro.ir import print_module
+        assert print_module(observed) == print_module(plain)
+        assert len(emitter) > 0
+
+    def test_insertion_remarks_carry_ids(self):
+        _, emitter = collect_remarks(tiny_is(), "auto")
+        inserted = [r for r in emitter if r.name in INSERTION_REMARKS]
+        assert inserted
+        assert all(r.prefetch_id for r in inserted)
+        assert len({r.prefetch_id for r in inserted}) == len(inserted)
+
+
+class TestExplainRows:
+    @pytest.fixture(scope="class")
+    def row(self):
+        (row,) = explain_rows([tiny_is()], machines=(HASWELL,),
+                              jobs=1, cache=False)
+        return row
+
+    def test_row_shape(self, row):
+        assert row["workload"] == "IS"
+        assert row["machine"] == "Haswell"
+        assert row["variant"] == "auto"
+        assert row["speedup"] > 0
+        assert row["issued"] > 0
+        assert row["num_remarks"] > 0
+
+    def test_every_prefetch_joined_with_runtime_bins(self, row):
+        # The acceptance bar: each inserted prefetch maps to a PC that
+        # the telemetry run actually observed.
+        assert row["prefetches"]
+        for pf in row["prefetches"]:
+            assert pf["pc"] is not None
+            assert pf["observed"], pf
+            assert set(pf["outcomes"]) == set(OUTCOMES)
+            assert sum(pf["outcomes"].values()) > 0
+            assert pf["remark"]["prefetch_id"] == pf["prefetch_id"]
+
+    def test_per_pc_bins_account_for_all_issues(self, row):
+        joined = sum(sum(pf["outcomes"].values())
+                     for pf in row["prefetches"])
+        assert joined == row["issued"]
+
+    def test_remarks_stream_round_trips(self, row):
+        remarks = parse_stream(row["remarks_stream"])
+        assert len(remarks) == row["num_remarks"]
+
+    def test_render_and_report(self, row):
+        text = render_explain([row])
+        assert "IS on Haswell" in text
+        for column in ("Prefetch", "PC", "Offset", "Timely", "Dropped"):
+            assert column in text
+        for pf in row["prefetches"]:
+            assert pf["prefetch_id"] in text
+        report = report_dict([row])
+        assert report["schema"] == "repro-explain-v1"
+        json.dumps(report)  # JSON-serialisable as-is
+
+
+class TestExplainCLI:
+    def test_unknown_target_exits_2(self, capsys):
+        code, _ = run_cli("explain", "nonesuch")
+        assert code == 2
+        assert "unknown explain target" in capsys.readouterr().err
+
+    def test_unknown_machine_exits_2(self, capsys):
+        code, _ = run_cli("explain", "is", "--machine", "Pentium")
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_json_and_remarks_artifact(self, tmp_path):
+        artifact = tmp_path / "remarks.json"
+        code, out = run_cli("explain", "ra", "--small", "--jobs", "1",
+                            "--json", "--remarks-out", str(artifact))
+        assert code == 0
+        report = json.loads(out)
+        assert report["schema"] == "repro-explain-v1"
+        (row,) = report["rows"]
+        assert row["workload"] == "RA"
+        assert row["prefetches"]
+        assert all(pf["observed"] for pf in row["prefetches"])
+
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro-explain-remarks-v1"
+        assert payload["machine"] == "Haswell"
+        stream = payload["workloads"]["RA"]
+        assert stream == row["remarks_stream"]
+        assert parse_stream(stream)

@@ -61,7 +61,8 @@ class TestGating:
         monkeypatch.setenv("REPRO_SIM_TELEMETRY_RING", "17")
         assert ring_capacity() == 17
         monkeypatch.setenv("REPRO_SIM_TELEMETRY_RING", "bogus")
-        assert ring_capacity() == 4096
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert ring_capacity() == 4096
 
 
 class TestClassification:
