@@ -27,11 +27,18 @@ from .cache import RunCache, resolve_run_cache, run_key
 TELEMETRY = {"simulated_runs": 0, "cached_runs": 0,
              "simulated_instructions": 0}
 
+#: Per-trace rows from trace-JIT runs (``REPRO_SIM_TRACEJIT=1``), each
+#: tagged with the run's workload/variant/machine — the raw material of
+#: ``repro bench --hot-report``.  In-process only: pooled workers do
+#: not propagate their rows back.
+TRACE_REPORT: list[dict] = []
+
 
 def reset_telemetry() -> None:
-    """Zero the run telemetry counters."""
+    """Zero the run telemetry counters and the trace report."""
     for key in TELEMETRY:
         TELEMETRY[key] = 0
+    TRACE_REPORT.clear()
 
 
 @dataclass
@@ -117,6 +124,11 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         telemetry=result.telemetry)
     TELEMETRY["simulated_runs"] += 1
     TELEMETRY["simulated_instructions"] += out.instructions
+    if interp.tracejit:
+        for row in interp.trace_report():
+            row.update(workload=workload.name, variant=variant,
+                       machine=machine.name)
+            TRACE_REPORT.append(row)
     if run_cache is not None:
         run_cache.put(key, dataclasses.asdict(out))
     return out

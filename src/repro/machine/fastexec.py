@@ -16,6 +16,16 @@ call), and the memory system's hot-line hit path (see
 :class:`~repro.machine.system.MemorySystem`) is inlined into the segment
 with the full-walk call as the fallback.
 
+The per-op code generation lives in :class:`_Emitter`, which is
+parametrized over operand naming so the same emission logic serves two
+execution tiers:
+
+* **fused segments** (this module) address the interpreter's register
+  file directly (``regs[i]`` / ``ready[i]``);
+* **compiled traces** (:mod:`repro.machine.tracejit`) lower register
+  slots to function locals (``r{i}`` / ``t{i}``) and splice whole loop
+  iterations — ops, terminators, phi moves — into one closure.
+
 Equivalence contract
 --------------------
 
@@ -29,6 +39,9 @@ the same order, on the same floats:
 * the inlined hit path performs the same LRU touches, hit counters,
   dirty marking and prefetcher training the full hierarchy walk would,
   and falls back to the real walk whenever its guards fail;
+* division/modulo by compile-time power-of-two machine parameters
+  (line size, set count) is emitted as shifts/masks — identical results
+  for every int under Python's floor-division semantics;
 * instruction counters are charged in bulk with the same totals.
 
 The only observable difference is *when* ``RunStats`` memory-op counters
@@ -46,13 +59,13 @@ hot-line memo) and force the reference slow path everywhere.
 
 Telemetry interaction (``REPRO_SIM_TELEMETRY=1``): attaching a
 :class:`~repro.telemetry.TelemetryCollector` clears the memory system's
-``fastpath`` flag, so :func:`_compile_segment` sees ``ms.fastpath``
-false and emits plain ``_ms_load``/``_ms_store``/``_ms_prefetch`` calls
-instead of the inlined hot-line hit path — every memory operation then
-takes the instrumented reference walk while ALU fusion stays on.  With
-telemetry off (the default) nothing here changes: the generated code is
-byte-for-byte what it was before telemetry existed, so the fast path
-pays zero cost for the feature.
+``fastpath`` flag, so the emitter sees ``ms.fastpath`` false and emits
+plain ``_ms_load``/``_ms_store``/``_ms_prefetch`` calls instead of the
+inlined hot-line hit path — every memory operation then takes the
+instrumented reference walk while ALU fusion stays on.  With telemetry
+off (the default) nothing here changes: the generated code replays the
+same arithmetic it did before telemetry existed, so the fast path pays
+zero cost for the feature.
 """
 
 from __future__ import annotations
@@ -68,7 +81,7 @@ _BIN, _CMP, _SELECT, _CAST, _GEP, _LOAD, _STORE, _PREFETCH, _CALL, \
 #: Kind tag of a fused segment: ``(SEG, closure)``.
 _SEG = 10
 
-#: Kinds that may be folded into a fused segment.
+#: Kinds that may be folded into a fused segment (or a compiled trace).
 _FUSABLE = frozenset(
     (_BIN, _CMP, _SELECT, _CAST, _GEP, _LOAD, _STORE, _PREFETCH))
 
@@ -117,8 +130,29 @@ def fastpath_enabled(explicit: bool | None = None) -> bool:
     return os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
 
 
+def _div_expr(operand: str, divisor: int) -> str:
+    """``operand // divisor`` as a shift when the divisor allows.
+
+    Python's ``//`` and ``>>`` agree (floor semantics) for every int
+    when the divisor is a power of two, so this is bit-identical."""
+    if divisor > 0 and divisor & (divisor - 1) == 0:
+        return f"{operand} >> {divisor.bit_length() - 1}"
+    return f"{operand} // {divisor}"
+
+
+def _mod_expr(operand: str, modulus: int) -> str:
+    """``operand % modulus`` as a mask when the modulus allows."""
+    if modulus > 0 and modulus & (modulus - 1) == 0:
+        return f"{operand} & {modulus - 1}"
+    return f"{operand} % {modulus}"
+
+
 def fuse_function(compiled, mode: str, bindings: dict) -> None:
     """Rewrite ``compiled.blocks`` in place, fusing instruction runs.
+
+    The pre-fusion blocks are stashed as ``compiled.raw_blocks`` so the
+    trace-JIT tier (:mod:`repro.machine.tracejit`) can recompile hot
+    loop paths from the original instruction tuples.
 
     :param compiled: a :class:`~repro.machine.interpreter._CompiledFunction`.
     :param mode: ``"func"`` (no timing), ``"inorder"`` or ``"ooo"``.
@@ -126,6 +160,7 @@ def fuse_function(compiled, mode: str, bindings: dict) -> None:
         (:class:`Memory`), ``stats`` (:class:`RunStats`), and for timed
         modes ``core`` and ``ms`` (the :class:`MemorySystem`).
     """
+    compiled.raw_blocks = compiled.blocks
     compiled.blocks = [
         (_fuse_block(insts, mode, bindings), term, count)
         for insts, term, count in compiled.blocks]
@@ -147,133 +182,215 @@ def _fuse_block(insts: list, mode: str, bindings: dict) -> list:
     return items
 
 
-def _operand(is_const: bool, payload) -> str:
-    """Source text of one pre-resolved operand."""
-    return repr(payload) if is_const else f"regs[{payload}]"
+class _Emitter:
+    """Generates the specialized Python source for fusable ops.
 
+    One instance accumulates source lines (:attr:`body`) and runtime
+    bindings (:attr:`env`) for a single generated closure.  The operand
+    naming is the only thing the two tiers disagree on:
 
-def _compile_segment(ops: list, mode: str, bind: dict):
-    """Generate, compile and instantiate the closure for one run."""
-    timed = mode != "func"
-    env: dict = {"_MF": MemoryFault,
-                 "_alloc_at": bind["memory"].allocation_at,
-                 "_stats": bind["stats"]}
-    body: list[str] = []
-    emit = body.append
+    * ``locals_tier=False`` (fused segments): operands address the
+      interpreter's register file, ``regs[i]`` / ``ready[i]``;
+    * ``locals_tier=True`` (compiled traces): operands are function
+      locals ``r{i}`` / ``t{i}``; every slot touched is recorded in
+      :attr:`slots` so the trace assembler can emit the load/store
+      prologue and epilogue.
 
-    if timed:
+    All timing arithmetic (issue/retire, hot-line probe, blocking
+    thresholds) is identical between tiers — it is the transcription of
+    the core and memory-system models documented in the module
+    docstring.
+    """
+
+    def __init__(self, mode: str, bind: dict, env: dict,
+                 locals_tier: bool = False):
+        self.mode = mode
+        self.timed = mode != "func"
+        self.env = env
+        self.body: list[str] = []
+        self.locals_tier = locals_tier
+        self.slots: set[int] = set()
+        self.counts = {"loads": 0, "stores": 0, "prefetches": 0}
+        self.site = 0
+        self._nfn = 0
+        self.hot = None
+        self.stat_locals: set[tuple[str, str]] = set()
+        env["_MF"] = MemoryFault
+        env["_alloc_at"] = bind["memory"].allocation_at
+        env["_stats"] = bind["stats"]
+        if not self.timed:
+            return
         core = bind["core"]
         ms = bind["ms"]
         env["_core"] = core
         env["_ms_load"] = ms.load
         env["_ms_store"] = ms.store
         env["_ms_prefetch"] = ms.prefetch
-        ic = repr(core.issue_cost)
+        self.ic = repr(core.issue_cost)
         if mode == "inorder":
-            bt = repr(core._block_threshold)
-            emit("t = _core.time")
+            self.bt = repr(core._block_threshold)
         else:
             env["_rob"] = core._rob
-            nrob = len(core._rob)
-            emit("head = _core._rob_head")
-            emit("ft = _core.fetch_time")
-            emit("lr = _core._last_retire")
-            emit("cm = _core.completion_max")
+            self.nrob = len(core._rob)
         if ms.fastpath:
             # Bindings for the inlined hot-line hit path.  All of these
             # objects are stable for the MemorySystem's lifetime (flush
             # clears them in place).
             l1 = ms.caches[0]
-            env.update(_hot=ms._hot, _l1s=l1._sets, _tp=ms.tlb._pages,
+            env.update(_hotget=ms._hot.get, _l1s=l1._sets,
+                       _tp=ms.tlb._pages,
                        _mst=ms.stats, _tst=ms.tlb.stats,
                        _l1st=l1.stats, _pf=ms.prefetcher,
-                       _train=ms._train_hw_prefetcher,
+                       _observe=ms.prefetcher.observe,
+                       _hwfill=ms._issue_hw_fills,
                        _ms_demand=ms._demand_fast,
                        _ms_pfmiss=ms._prefetch_miss_fast)
+            # Per-level L1-below set arrays for inlined dirty marking.
+            self.dirty = []
             for i, c in enumerate(ms.caches[1:]):
-                env[f"_md{i}"] = c.mark_dirty
-            hot = {
-                "ls": ms.line_size, "ns": l1.num_sets,
+                env[f"_ds{i}"] = c._sets
+                self.dirty.append(
+                    (f"_ds{i}", _mod_expr("line", c.num_sets)))
+            self.hot = {
+                "line": _div_expr("addr", ms.line_size),
+                "set": _mod_expr("line", l1.num_sets),
                 "pb": ms.tlb.page_bits, "lat": repr(l1.latency),
-                "ndirty": len(ms.caches) - 1,
             }
+
+    # -- operand naming ------------------------------------------------
+
+    def out(self, line: str) -> None:
+        """Append one source line (relative indentation preserved)."""
+        self.body.append(line)
+
+    def reg(self, slot: int) -> str:
+        if self.locals_tier:
+            self.slots.add(slot)
+            return f"r{slot}"
+        return f"regs[{slot}]"
+
+    def rdy(self, slot: int) -> str:
+        if self.locals_tier:
+            self.slots.add(slot)
+            return f"t{slot}"
+        return f"ready[{slot}]"
+
+    def operand(self, is_const: bool, payload) -> str:
+        """Source text of one pre-resolved operand."""
+        return repr(payload) if is_const else self.reg(payload)
+
+    def fn_call(self, fn) -> str:
+        name = f"_f{self._nfn}"
+        self._nfn += 1
+        self.env[name] = fn
+        return name
+
+    # -- core-model transcription --------------------------------------
+
+    def core_prologue(self) -> None:
+        """Load the core's architectural state into locals."""
+        if self.mode == "inorder":
+            self.out("t = _core.time")
         else:
-            hot = None
+            self.out("head = _core._rob_head")
+            self.out("ft = _core.fetch_time")
+            self.out("lr = _core._last_retire")
+            self.out("cm = _core.completion_max")
 
-    def dep(specs) -> None:
-        """dep = max(0.0, ready[...]) over the non-const operands."""
-        slots = [v for c, v in specs if not c]
-        if not slots:
-            emit("dep = 0.0")
-            return
-        emit(f"dep = ready[{slots[0]}]")
-        for s in slots[1:]:
-            emit(f"_t = ready[{s}]")
-            emit("if _t > dep: dep = _t")
+    def core_epilogue(self) -> None:
+        """Write the locals back to the core."""
+        if self.mode == "inorder":
+            self.out("_core.time = t")
+        else:
+            self.out("_core._rob_head = head")
+            self.out("_core.fetch_time = ft")
+            self.out("_core._last_retire = lr")
+            self.out("_core.completion_max = cm")
 
-    def inorder_issue() -> None:
-        emit(f"issue = t + {ic}")
-        emit("if dep > issue: issue = dep")
-
-    def ooo_issue() -> None:
-        """_fetch() then issue = max(fetch, dep), into local ``issue``."""
-        emit(f"issue = ft + {ic}")
-        emit("_s = _rob[head]")
-        emit("if _s > issue: issue = _s")
-        emit("ft = issue")
-        emit("if dep > issue: issue = dep")
-
-    def ooo_retire(done: str) -> None:
+    def ooo_retire(self, done: str) -> None:
+        emit = self.out
         emit(f"if {done} > lr: lr = {done}")
         emit("_rob[head] = lr")
         emit("head += 1")
-        emit(f"if head == {nrob}: head = 0")
+        emit(f"if head == {self.nrob}: head = 0")
         emit(f"if {done} > cm: cm = {done}")
 
-    def issue_and(specs) -> None:
-        """dep -> issue for the current mode (result in ``issue``)."""
-        dep(specs)
-        if mode == "inorder":
-            inorder_issue()
+    def issue_and(self, specs) -> None:
+        """Issue time for one op into ``issue``: the core clock advance
+        with each non-const operand's ready time folded in directly
+        (``max`` is assoc/commutative, so folding the operand compares
+        into the issue compare chain is bit-identical to computing
+        ``dep = max(ready...)`` first, with fewer temporaries)."""
+        emit = self.out
+        if self.mode == "inorder":
+            emit(f"issue = t + {self.ic}")
         else:
-            ooo_issue()
+            # _fetch(): fetch = max(ft + ic, rob[head]); ft = fetch.
+            emit(f"issue = ft + {self.ic}")
+            emit("_s = _rob[head]")
+            emit("if _s > issue: issue = _s")
+            emit("ft = issue")
+        for c, v in specs:
+            if not c:
+                r = self.rdy(v)
+                emit(f"if {r} > issue: issue = {r}")
 
-    def alu(dst: int, specs, lat: float, *, value: str | None = None,
-            wrapped: str | None = None) -> None:
+    def branch(self, dep: str | None) -> None:
+        """``core.branch(dep)`` with core state in locals (trace tier).
+
+        ``dep`` is a source expression for the condition's ready time,
+        or ``None`` for a constant condition (dep 0.0, which never
+        dominates the non-negative clock)."""
+        emit = self.out
+        if self.mode == "inorder":
+            emit(f"t += {self.ic}")
+            if dep is not None:
+                emit(f"if {dep} > t: t = {dep}")
+        else:
+            emit(f"issue = ft + {self.ic}")
+            emit("_s = _rob[head]")
+            emit("if _s > issue: issue = _s")
+            emit("ft = issue")
+            if dep is not None:
+                emit(f"if {dep} > issue: issue = {dep}")
+            emit("done = issue + 1.0")
+            self.ooo_retire("done")
+
+    def alu(self, dst: int, specs, lat: float, *,
+            value: str | None = None, wrapped: str | None = None) -> None:
         """One non-memory op: functional effect + issue/retire timing.
 
         :param value: expression assigned to the slot directly.
         :param wrapped: expression put through 64-bit signed wrap first.
         """
+        emit = self.out
         if wrapped is not None:
             emit(f"_v = {wrapped} & {_M64}")
-            emit(f"regs[{dst}] = _v - {_W64} if _v >= {_H64} else _v")
+            emit(f"{self.reg(dst)} = _v - {_W64} if _v >= {_H64} else _v")
         else:
-            emit(f"regs[{dst}] = {value}")
-        if not timed:
+            emit(f"{self.reg(dst)} = {value}")
+        if not self.timed:
             return
-        issue_and(specs)
-        if mode == "inorder":
+        self.issue_and(specs)
+        if self.mode == "inorder":
             emit("t = issue")
-            emit(f"ready[{dst}] = issue + {lat!r}")
+            emit(f"{self.rdy(dst)} = issue + {lat!r}")
         else:
             emit(f"done = issue + {lat!r}")
-            ooo_retire("done")
-            emit(f"ready[{dst}] = done")
+            self.ooo_retire("done")
+            emit(f"{self.rdy(dst)} = done")
 
-    def fn_call(fn) -> str:
-        name = f"_f{len([k for k in env if k.startswith('_f')])}"
-        env[name] = fn
-        return name
+    # -- memory-system transcription -----------------------------------
 
-    def address(ptr_spec, site: int, op_name: str) -> None:
+    def address(self, ptr_spec, site: int, op_name: str) -> None:
         """Resolve ``addr``; leaves the site memo in ``_m``.
 
         ``_m`` is ``[alloc, base, end, element_size, data]`` — richer
         than the dispatch path's one-slot allocation memo so the hot
         case needs no attribute (or property) lookups.
         """
-        emit(f"addr = {_operand(*ptr_spec)}")
+        emit = self.out
+        emit(f"addr = {self.operand(*ptr_spec)}")
         emit(f"_m = _c{site}")
         emit("if addr < _m[1] or addr >= _m[2]:")
         emit("    _a = _alloc_at(addr)")
@@ -286,178 +403,218 @@ def _compile_segment(ops: list, mode: str, bind: dict):
         emit("if _r:")
         emit(f"    raise _MF('misaligned {op_name} at %#x' % addr)")
 
-    def hot_probe() -> str:
+    def hot_probe(self) -> str:
         """Guard expression: line resident in L1 + page in L1 TLB."""
+        hot = self.hot
         return (f"entry is not None and entry[0] <= issue and "
-                f"(lines := _l1s[line % {hot['ns']}]).get(line) is entry "
+                f"(lines := _l1s[{hot['set']}]).get(line) is entry "
                 f"and (page := addr >> {hot['pb']}) in _tp")
 
-    def hot_touch() -> None:
+    def stat(self, target: str, local: str) -> str:
+        """One monotone counter bump.
+
+        Fused segments bump the stats object directly; traces batch
+        into a function local the assembler flushes at trace exit (the
+        counters are write-only during a run, so only the mid-run
+        ``MemoryFault`` caveat from the module docstring widens).
+        """
+        if self.locals_tier:
+            self.stat_locals.add((local, target))
+            return f"{local} += 1"
+        return f"{target} += 1"
+
+    def hot_touch(self) -> None:
         """LRU touches + hit counters of the replayed L1/TLB hit."""
+        emit = self.out
         emit("    del _tp[page]")
         emit("    _tp[page] = None")
-        emit("    _tst.hits += 1")
+        emit(f"    {self.stat('_tst.hits', '_nth')}")
         emit("    del lines[line]")
         emit("    lines[line] = entry")
 
-    def demand(pc: int, is_write: bool) -> None:
+    def train(self, pc: int, indent: str) -> None:
+        """Inlined ``_train_hw_prefetcher``: observe + rare fill issue."""
+        emit = self.out
+        emit(f"{indent}if line != _pf._last_line:")
+        emit(f"{indent}    _fl = _observe({pc}, line)")
+        emit(f"{indent}    if _fl:")
+        emit(f"{indent}        _hwfill(_fl, issue)")
+
+    def demand(self, pc: int, is_write: bool) -> None:
         """``rdy = <memory system demand access at issue>``."""
+        emit = self.out
+        hot = self.hot
         ms_call = "_ms_store" if is_write else "_ms_load"
         if hot is None:
             emit(f"rdy = {ms_call}({pc}, addr, issue)")
             return
-        emit(f"line = addr // {hot['ls']}")
-        emit("entry = _hot.get(line)")
-        emit(f"if {hot_probe()}:")
-        emit("    _mst.demand_accesses += 1")
-        hot_touch()
-        emit("    _l1st.hits += 1")
+        emit(f"line = {hot['line']}")
+        emit("entry = _hotget(line)")
+        emit(f"if {self.hot_probe()}:")
+        emit(f"    {self.stat('_mst.demand_accesses', '_nda')}")
+        self.hot_touch()
+        emit(f"    {self.stat('_l1st.hits', '_nl1')}")
         if is_write:
             emit("    entry[1] = True")
-            for i in range(hot["ndirty"]):
-                emit(f"    _md{i}(line)")
-        emit("    if line != _pf._last_line:")
-        emit(f"        _train({pc}, line, issue)")
+            for sets_name, set_expr in self.dirty:
+                emit(f"    _e = {sets_name}[{set_expr}].get(line)")
+                emit("    if _e is not None:")
+                emit("        _e[1] = True")
+        self.train(pc, "    ")
         emit(f"    rdy = issue + {hot['lat']}")
         emit("else:")
         # The guard above replicates load()/store()'s own memo probe, so
         # on failure go straight to the inlined miss walk.
         emit(f"    rdy = _ms_demand({pc}, addr, issue, {is_write})")
 
-    from .core import _LATENCIES
+    # -- one fusable instruction ---------------------------------------
 
-    site = 0
-    counts = {"loads": 0, "stores": 0, "prefetches": 0}
-    for inst in ops:
+    def op(self, inst: tuple) -> None:
+        """Emit functional + timing source for one instruction tuple."""
+        from .core import _LATENCIES
+
+        emit = self.out
         kind = inst[0]
         if kind == _BIN:
             _, dst, fn, ac, a, bc, b, opcode, bits = inst
-            av, bv = _operand(ac, a), _operand(bc, b)
+            av, bv = self.operand(ac, a), self.operand(bc, b)
             lat = _LATENCIES.get(opcode, _ALU_LATENCY)
             specs = [(ac, a), (bc, b)]
             if opcode in _INLINE_FLOAT:
-                alu(dst, specs, lat,
-                    value=_INLINE_FLOAT[opcode].format(a=av, b=bv))
+                self.alu(dst, specs, lat,
+                         value=_INLINE_FLOAT[opcode].format(a=av, b=bv))
             elif bits == 64 and opcode in _INLINE_I64:
-                alu(dst, specs, lat,
-                    wrapped=_INLINE_I64[opcode].format(a=av, b=bv))
+                self.alu(dst, specs, lat,
+                         wrapped=_INLINE_I64[opcode].format(a=av, b=bv))
             else:
-                alu(dst, specs, lat, value=f"{fn_call(fn)}({av}, {bv})")
+                self.alu(dst, specs, lat,
+                         value=f"{self.fn_call(fn)}({av}, {bv})")
         elif kind == _CMP:
             _, dst, fn, ac, a, bc, b, pred = inst
-            av, bv = _operand(ac, a), _operand(bc, b)
+            av, bv = self.operand(ac, a), self.operand(bc, b)
             cond = _INLINE_CMP[pred].format(a=av, b=bv)
-            alu(dst, [(ac, a), (bc, b)], _ALU_LATENCY,
-                value=f"1 if {cond} else 0")
+            self.alu(dst, [(ac, a), (bc, b)], _ALU_LATENCY,
+                     value=f"1 if {cond} else 0")
         elif kind == _SELECT:
             _, dst, cc, c, tc, t, fc, f = inst
-            rhs = (f"({_operand(tc, t)}) if ({_operand(cc, c)}) "
-                   f"else ({_operand(fc, f)})")
-            alu(dst, [(cc, c), (tc, t), (fc, f)], _ALU_LATENCY,
-                value=rhs)
+            rhs = (f"({self.operand(tc, t)}) if ({self.operand(cc, c)}) "
+                   f"else ({self.operand(fc, f)})")
+            self.alu(dst, [(cc, c), (tc, t), (fc, f)], _ALU_LATENCY,
+                     value=rhs)
         elif kind == _CAST:
             _, dst, fn, vc, v, opcode, fb, tb = inst
-            vv = _operand(vc, v)
+            vv = self.operand(vc, v)
             specs = [(vc, v)]
             if opcode in ("bitcast", "ptrtoint", "inttoptr", "sext"):
-                alu(dst, specs, _ALU_LATENCY, value=vv)
+                self.alu(dst, specs, _ALU_LATENCY, value=vv)
             elif opcode == "zext":
-                alu(dst, specs, _ALU_LATENCY,
-                    value=f"({vv}) & {(1 << fb) - 1}")
+                self.alu(dst, specs, _ALU_LATENCY,
+                         value=f"({vv}) & {(1 << fb) - 1}")
             elif opcode == "trunc" and tb == 64:
-                alu(dst, specs, _ALU_LATENCY, wrapped=f"({vv})")
+                self.alu(dst, specs, _ALU_LATENCY, wrapped=f"({vv})")
             elif opcode == "sitofp":
-                alu(dst, specs, _ALU_LATENCY, value=f"float({vv})")
+                self.alu(dst, specs, _ALU_LATENCY, value=f"float({vv})")
             elif opcode == "fptosi" and tb == 64:
-                alu(dst, specs, _ALU_LATENCY, wrapped=f"int({vv})")
+                self.alu(dst, specs, _ALU_LATENCY, wrapped=f"int({vv})")
             else:
-                alu(dst, specs, _ALU_LATENCY,
-                    value=f"{fn_call(fn)}({vv})")
+                self.alu(dst, specs, _ALU_LATENCY,
+                         value=f"{self.fn_call(fn)}({vv})")
         elif kind == _GEP:
             _, dst, elem, bc, b, ic_, i = inst
-            rhs = f"{_operand(bc, b)} + {_operand(ic_, i)} * {elem}"
-            alu(dst, [(bc, b), (ic_, i)], _ALU_LATENCY, value=rhs)
+            rhs = (f"{self.operand(bc, b)} + "
+                   f"{self.operand(ic_, i)} * {elem}")
+            self.alu(dst, [(bc, b), (ic_, i)], _ALU_LATENCY, value=rhs)
         elif kind == _LOAD:
             _, dst, pc, pc_const, p, cache = inst
-            counts["loads"] += 1
-            env[f"_c{site}"] = [None, 0, -1, 1, None]
-            address((pc_const, p), site, "load")
-            site += 1
-            emit(f"regs[{dst}] = _m[4][_q]")
-            if timed:
-                issue_and([(pc_const, p)])
-                demand(pc, is_write=False)
-                if mode == "inorder":
-                    emit(f"if rdy - issue > {bt}:")
+            self.counts["loads"] += 1
+            self.env[f"_c{self.site}"] = [None, 0, -1, 1, None]
+            self.address((pc_const, p), self.site, "load")
+            self.site += 1
+            emit(f"{self.reg(dst)} = _m[4][_q]")
+            if self.timed:
+                self.issue_and([(pc_const, p)])
+                self.demand(pc, is_write=False)
+                if self.mode == "inorder":
+                    emit(f"if rdy - issue > {self.bt}:")
                     emit("    t = rdy")
                     emit("else:")
                     emit("    t = issue")
                 else:
-                    ooo_retire("rdy")
-                emit(f"ready[{dst}] = rdy")
+                    self.ooo_retire("rdy")
+                emit(f"{self.rdy(dst)} = rdy")
         elif kind == _STORE:
             _, pc, vc, v, pc_const, p, cache = inst
-            counts["stores"] += 1
-            env[f"_c{site}"] = [None, 0, -1, 1, None]
-            address((pc_const, p), site, "store")
-            site += 1
-            emit(f"_m[4][_q] = {_operand(vc, v)}")
-            if timed:
-                issue_and([(vc, v), (pc_const, p)])
-                demand(pc, is_write=True)
-                if mode == "inorder":
+            self.counts["stores"] += 1
+            self.env[f"_c{self.site}"] = [None, 0, -1, 1, None]
+            self.address((pc_const, p), self.site, "store")
+            self.site += 1
+            emit(f"_m[4][_q] = {self.operand(vc, v)}")
+            if self.timed:
+                self.issue_and([(vc, v), (pc_const, p)])
+                self.demand(pc, is_write=True)
+                if self.mode == "inorder":
                     emit("t = issue")
                 else:
                     emit("done = issue + 1.0")
-                    ooo_retire("done")
+                    self.ooo_retire("done")
         elif kind == _PREFETCH:
             _, pc, pc_const, p = inst
-            counts["prefetches"] += 1
-            emit(f"addr = {_operand(pc_const, p)}")
-            if timed:
-                issue_and([(pc_const, p)])
+            self.counts["prefetches"] += 1
+            emit(f"addr = {self.operand(pc_const, p)}")
+            if self.timed:
+                self.issue_and([(pc_const, p)])
+                hot = self.hot
                 if hot is None:
                     emit(f"acc = _ms_prefetch({pc}, addr, issue)")
                 else:
                     # Replay of MemorySystem.prefetch's fast path: an
                     # L1-resident line never waits, so no fill check.
-                    emit(f"line = addr // {hot['ls']}")
-                    emit("entry = _hot.get(line)")
+                    emit(f"line = {hot['line']}")
+                    emit("entry = _hotget(line)")
                     emit("if entry is not None and "
-                         f"(lines := _l1s[line % {hot['ns']}]).get(line)"
+                         f"(lines := _l1s[{hot['set']}]).get(line)"
                          " is entry and "
                          f"(page := addr >> {hot['pb']}) in _tp:")
-                    emit("    _mst.sw_prefetches += 1")
-                    hot_touch()
+                    emit(f"    {self.stat('_mst.sw_prefetches', '_nsp')}")
+                    self.hot_touch()
                     emit("    acc = issue")
                     emit("else:")
                     emit(f"    acc = _ms_pfmiss({pc}, addr, line, issue)")
-                if mode == "inorder":
+                if self.mode == "inorder":
                     emit("t = acc")
                 else:
                     emit("done = acc + 1.0")
-                    ooo_retire("done")
-        else:  # pragma: no cover - _fuse_block filters kinds
+                    self.ooo_retire("done")
+        else:  # pragma: no cover - callers filter kinds
             raise RuntimeError(f"kind {kind} is not fusable")
 
-    if timed:
-        if mode == "inorder":
-            emit("_core.time = t")
-        else:
-            emit("_core._rob_head = head")
-            emit("_core.fetch_time = ft")
-            emit("_core._last_retire = lr")
-            emit("_core.completion_max = cm")
-        emit(f"_core.instructions += {len(ops)}")
-    for field, n in counts.items():
-        if n:
-            emit(f"_stats.{field} += {n}")
 
-    src = "def _seg(regs, ready):\n" + "".join(
-        f"    {line}\n" for line in body)
+def compile_source(src: str, env: dict, entry: str, filename: str):
+    """Compile generated source through the shared code cache and
+    instantiate it against ``env``; returns the closure ``entry``."""
     code = _CODE_CACHE.get(src)
     if code is None:
-        code = compile(src, "<fused-segment>", "exec")
+        code = compile(src, filename, "exec")
         _CODE_CACHE[src] = code
     exec(code, env)
-    return env["_seg"]
+    return env[entry]
+
+
+def _compile_segment(ops: list, mode: str, bind: dict):
+    """Generate, compile and instantiate the closure for one run."""
+    env: dict = {}
+    em = _Emitter(mode, bind, env)
+    if em.timed:
+        em.core_prologue()
+    for inst in ops:
+        em.op(inst)
+    if em.timed:
+        em.core_epilogue()
+        em.out(f"_core.instructions += {len(ops)}")
+    for field, n in em.counts.items():
+        if n:
+            em.out(f"_stats.{field} += {n}")
+
+    src = "def _seg(regs, ready):\n" + "".join(
+        f"    {line}\n" for line in em.body)
+    return compile_source(src, env, "_seg", "<fused-segment>")

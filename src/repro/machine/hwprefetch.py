@@ -17,17 +17,13 @@ stride prefetch even on machines with hardware prefetchers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 #: log2(lines per tracked region): 64 lines = 4 KiB regions.
 REGION_BITS = 6
 
-
-@dataclass
-class _StreamEntry:
-    last_line: int
-    stride: int = 0
-    confidence: int = 0
+# Stream entries are plain ``[last_line, stride, confidence]`` lists:
+# ``observe`` runs once per demand access on the simulator's hottest
+# path, and list indexing beats attribute access on a record type.
+_LAST, _STRIDE, _CONF = range(3)
 
 
 class StridePrefetcher:
@@ -49,7 +45,7 @@ class StridePrefetcher:
         self.degree = degree
         self.train_threshold = train_threshold
         self.table_size = table_size
-        self._table: dict[int, list[_StreamEntry]] = {}
+        self._table: dict[int, list[list]] = {}
         self._last_line: int | None = None
         self.issued = 0
 
@@ -66,34 +62,50 @@ class StridePrefetcher:
             return []
         self._last_line = line_addr
         region = line_addr >> REGION_BITS
-        streams = self._table.get(region)
+        table = self._table
+        streams = table.get(region)
         if streams is None:
-            if len(self._table) >= self.table_size:
-                del self._table[next(iter(self._table))]
-            self._table[region] = [_StreamEntry(last_line=line_addr)]
+            if len(table) >= self.table_size:
+                del table[next(iter(table))]
+            table[region] = [[line_addr, 0, 0]]
             return []
         # LRU touch.
-        del self._table[region]
-        self._table[region] = streams
+        del table[region]
+        table[region] = streams
 
-        # Match the stream whose last access is closest to this line.
-        entry = min(streams, key=lambda s: abs(line_addr - s.last_line))
-        stride = line_addr - entry.last_line
+        # Match the stream whose last access is closest to this line
+        # (first wins ties, matching min() over the insertion order).
+        entry = streams[0]
+        if len(streams) > 1:
+            d0 = line_addr - entry[_LAST]
+            if d0 < 0:
+                d0 = -d0
+            other = streams[1]
+            d1 = line_addr - other[_LAST]
+            if d1 < 0:
+                d1 = -d1
+            if d1 < d0:
+                entry = other
+        stride = line_addr - entry[_LAST]
         if stride == 0:
             return []  # same line: no information
-        if abs(stride) > 8 and len(streams) < self.STREAMS_PER_REGION:
+        if ((stride > 8 or stride < -8)
+                and len(streams) < self.STREAMS_PER_REGION):
             # Too far from any tracked stream: open a second one.
-            streams.append(_StreamEntry(last_line=line_addr))
+            streams.append([line_addr, 0, 0])
             return []
-        if stride == entry.stride:
-            entry.confidence = min(entry.confidence + 1, 8)
+        if stride == entry[_STRIDE]:
+            conf = entry[_CONF] + 1
+            if conf > 8:
+                conf = 8
+            entry[_CONF] = conf
         else:
-            entry.stride = stride
-            entry.confidence = 1
-        entry.last_line = line_addr
-        if entry.confidence < self.train_threshold:
+            entry[_STRIDE] = stride
+            entry[_CONF] = conf = 1
+        entry[_LAST] = line_addr
+        if conf < self.train_threshold:
             return []
-        fills = [line_addr + entry.stride * (self.distance + i)
+        fills = [line_addr + stride * (self.distance + i)
                  for i in range(self.degree)]
         self.issued += len(fills)
         return fills

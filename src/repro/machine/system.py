@@ -172,7 +172,9 @@ class MemorySystem:
         if is_write:
             entry[1] = True
             for c in self.caches[1:]:
-                c.mark_dirty(line)
+                ce = c._sets[line % c.num_sets].get(line)
+                if ce is not None:
+                    ce[1] = True
         self._train_hw_prefetcher(pc, line, time)
         return time + l1.latency
 
@@ -295,15 +297,29 @@ class MemorySystem:
                     cst.prefetch_hits += 1
                     ready = fill + cache.latency
                 if level:
-                    llc = caches[-1]
+                    # Promote into the levels above; the walk just proved
+                    # the line absent there, so Cache.insert reduces to
+                    # evict-if-full + install (an upper level is never the
+                    # LLC, so no writeback charge — same as insert()'s
+                    # ignored return on this path).
                     for upper in caches[:level]:
-                        if upper.insert(line, ready) and upper is llc:
-                            self.dram.writeback(t)
+                        cl = upper._sets[line % upper.num_sets]
+                        if len(cl) >= upper.ways:
+                            oldest = next(iter(cl))
+                            de = cl[oldest][1]
+                            del cl[oldest]
+                            cst = upper.stats
+                            cst.evictions += 1
+                            if de:
+                                cst.dirty_evictions += 1
+                        cl[line] = [ready, False]
                 else:
                     l1_entry = entry
                 if is_write:
                     for c in caches:
-                        c.mark_dirty(line)
+                        ce = c._sets[line % c.num_sets].get(line)
+                        if ce is not None:
+                            ce[1] = True
                 break
             cache.stats.misses += 1
         else:
@@ -387,11 +403,24 @@ class MemorySystem:
                 lines[line] = entry
                 if level:
                     ready = (t if fill <= t else fill) + cache.latency
-                    for upper in caches[:level]:
-                        upper.insert(line, ready)
-                        upper.stats.prefetch_fills += 1
+                    # Inlined Cache.insert: the walk proved the line
+                    # absent above ``level`` (evict-if-full + install).
                     l1 = caches[0]
-                    entry = l1._sets[line % l1.num_sets].get(line)
+                    for upper in caches[:level]:
+                        cl = upper._sets[line % upper.num_sets]
+                        if len(cl) >= upper.ways:
+                            oldest = next(iter(cl))
+                            de = cl[oldest][1]
+                            del cl[oldest]
+                            cst = upper.stats
+                            cst.evictions += 1
+                            if de:
+                                cst.dirty_evictions += 1
+                        new = [ready, False]
+                        cl[line] = new
+                        upper.stats.prefetch_fills += 1
+                        if upper is l1:
+                            entry = new
                 if len(hot) > _HOT_LIMIT:
                     hot.clear()
                 hot[line] = entry
@@ -512,15 +541,32 @@ class MemorySystem:
     def _issue_hw_fills(self, fills: list[int], t: float) -> None:
         # Hardware prefetches fill into the L2 (not L1) and consume DRAM
         # bandwidth, but bypass the core's MSHRs (dedicated queue).
-        llc = self.caches[-1]
+        caches = self.caches
+        llc = caches[-1]
+        dram = self.dram
+        targets = caches[1:] or caches
         for fill_line in fills:
-            if any(c.contains(fill_line) for c in self.caches):
-                continue
-            done = self.dram.access(t)
-            for cache in self.caches[1:] or self.caches:
-                if cache.insert(fill_line, done) and cache is llc:
-                    self.dram.writeback(t)
-            self.stats.hw_prefetch_fills += 1
+            for c in caches:
+                if fill_line in c._sets[fill_line % c.num_sets]:
+                    break
+            else:
+                done = dram.access(t)
+                # Inlined Cache.insert: the residence scan above proved
+                # the line absent everywhere (evict-if-full + install).
+                for cache in targets:
+                    cl = cache._sets[fill_line % cache.num_sets]
+                    if len(cl) >= cache.ways:
+                        oldest = next(iter(cl))
+                        de = cl[oldest][1]
+                        del cl[oldest]
+                        cst = cache.stats
+                        cst.evictions += 1
+                        if de:
+                            cst.dirty_evictions += 1
+                            if cache is llc:
+                                dram.writeback(t)
+                    cl[fill_line] = [done, False]
+                self.stats.hw_prefetch_fills += 1
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -63,6 +63,12 @@ KNOWN_REMARKS: dict[str, str] = {
     "BlockMerged": "simplifycfg absorbed a single-predecessor block",
     "ForwardingBlockRemoved": "simplifycfg bypassed an empty jmp block",
     "UnreachableBlockRemoved": "simplifycfg deleted a dead block",
+    # The trace-JIT execution tier (repro.machine.tracejit).
+    "TraceCompiled":
+        "a hot loop path was compiled to a specialized trace closure",
+    "TraceDeopt":
+        "a trace recording was abandoned or a compiled trace was "
+        "invalidated, with the reason",
     # Runtime configuration warnings.
     "TelemetryRingClamped":
         "REPRO_SIM_TELEMETRY_RING was invalid and a fallback was used",

@@ -178,18 +178,23 @@ class TestWorkloadEquivalence:
         assert snaps[0] == snaps[1]
 
 
+#: Execution tiers of the engine: reference, fused fast path, and the
+#: trace JIT on top of the fast path (``REPRO_SIM_TRACEJIT=1``).
+TIERS = ((False, False), (True, False), (True, True))
+
+
 class TestTelemetryEquivalence:
     """Telemetry is observational: attaching a collector must leave
-    every timing and architectural counter bit-identical, under both
-    engine paths."""
+    every timing and architectural counter bit-identical, under every
+    execution tier (reference, fused fast path, trace JIT)."""
 
     @pytest.mark.parametrize("machine", (HASWELL, A53),
                              ids=lambda m: m.name)
     @pytest.mark.parametrize("variant", ("plain", "auto"))
-    def test_four_combo_matrix(self, machine, variant):
+    def test_tier_telemetry_matrix(self, machine, variant):
         from repro.workloads import IntegerSort
         snaps = {}
-        for fastpath in (False, True):
+        for fastpath, tracejit in TIERS:
             for telemetry in (False, True):
                 wl = IntegerSort(num_keys=2000, num_buckets=1 << 14)
                 module = wl.build_variant(variant)
@@ -197,6 +202,7 @@ class TestTelemetryEquivalence:
                 prepared = wl.prepare(mem)
                 interp = Interpreter(module, mem, machine=machine,
                                      fastpath=fastpath,
+                                     tracejit=tracejit,
                                      telemetry=telemetry)
                 result = interp.run(wl.entry, prepared.args)
                 prepared.validate()
@@ -204,8 +210,9 @@ class TestTelemetryEquivalence:
                     assert result.telemetry is not None
                 else:
                     assert result.telemetry is None
-                snaps[(fastpath, telemetry)] = snapshot(interp)
-        base = snaps[(False, False)]
+                snaps[(fastpath, tracejit, telemetry)] = \
+                    snapshot(interp)
+        base = snaps[(False, False, False)]
         for combo, snap in snaps.items():
             assert snap == base, f"diverged at {combo}"
 
@@ -214,7 +221,7 @@ class TestTelemetryEquivalence:
     def test_manual_deep_chain_matrix(self, machine):
         from repro.workloads import hj8
         snaps = {}
-        for fastpath in (False, True):
+        for fastpath, tracejit in TIERS:
             for telemetry in (False, True):
                 wl = hj8(num_probes=1200, num_buckets=1 << 11)
                 module = wl.build_variant("manual")
@@ -222,11 +229,13 @@ class TestTelemetryEquivalence:
                 prepared = wl.prepare(mem)
                 interp = Interpreter(module, mem, machine=machine,
                                      fastpath=fastpath,
+                                     tracejit=tracejit,
                                      telemetry=telemetry)
                 interp.run(wl.entry, prepared.args)
                 prepared.validate()
-                snaps[(fastpath, telemetry)] = snapshot(interp)
-        base = snaps[(False, False)]
+                snaps[(fastpath, tracejit, telemetry)] = \
+                    snapshot(interp)
+        base = snaps[(False, False, False)]
         for combo, snap in snaps.items():
             assert snap == base, f"diverged at {combo}"
 
