@@ -31,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..telemetry.spans import span
+
 #: Bump when cached-result semantics change without a source change.
 ENGINE_VERSION = "1"
 
@@ -91,7 +93,7 @@ def canonical_token(value) -> str:
 
 
 def run_key(ir_text: str, machine, workload, validate: bool,
-            telemetry: bool = False) -> str:
+            telemetry: bool = False, timeline: bool = False) -> str:
     """Content hash identifying one simulation run.
 
     ``ir_text`` is the printed module *after* variant construction, so
@@ -100,7 +102,8 @@ def run_key(ir_text: str, machine, workload, validate: bool,
     ``telemetry`` participates because a telemetry-on run carries its
     snapshot inside the cached result — a telemetry-off entry must not
     satisfy a telemetry-on request (it would be silently snapshot-free),
-    nor vice versa.
+    nor vice versa.  ``timeline`` participates for the same reason (the
+    windowed snapshot rides the cached row).
     """
     token = "\n".join((
         simulator_code_hash(),
@@ -108,6 +111,7 @@ def run_key(ir_text: str, machine, workload, validate: bool,
         canonical_token(workload),
         repr(validate),
         f"telemetry={telemetry}",
+        f"timeline={timeline}",
         ir_text,
     ))
     return hashlib.sha256(token.encode()).hexdigest()
@@ -128,37 +132,42 @@ class RunCache:
 
     def get(self, key: str) -> dict | None:
         """Cached result dict for ``key``, or ``None`` (corrupt = miss)."""
-        data = self._mem.get(key)
-        if data is None:
-            try:
-                data = json.loads(self._path(key).read_text())
-            except (OSError, ValueError):
-                self.misses += 1
-                return None
-            if not isinstance(data, dict):
-                self.misses += 1
-                return None
-            self._mem[key] = data
-        self.hits += 1
-        return data
+        with span("cache", "probe", key=key[:12]) as s:
+            data = self._mem.get(key)
+            if data is None:
+                try:
+                    data = json.loads(self._path(key).read_text())
+                except (OSError, ValueError):
+                    self.misses += 1
+                    s["hit"] = False
+                    return None
+                if not isinstance(data, dict):
+                    self.misses += 1
+                    s["hit"] = False
+                    return None
+                self._mem[key] = data
+            self.hits += 1
+            s["hit"] = True
+            return data
 
     def put(self, key: str, data: dict) -> None:
         """Store a result, atomically (safe under concurrent writers)."""
-        self._mem[key] = data
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle)
-            os.replace(tmp, path)
-        except BaseException:
+        with span("cache", "store", key=key[:12]):
+            self._mem[key] = data
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(data, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
 
 
 def default_cache_dir() -> str:

@@ -19,6 +19,8 @@ from ..machine.interpreter import Interpreter
 from ..machine.memory import Memory
 from ..passes.prefetch import PrefetchOptions
 from ..telemetry import telemetry_enabled
+from ..telemetry.spans import span
+from ..telemetry.timeline import resolve_timeline
 from ..workloads.base import Workload
 from .cache import RunCache, resolve_run_cache, run_key
 
@@ -60,6 +62,10 @@ class VariantResult:
     #: made with telemetry enabled; ``None`` otherwise.  JSON-safe, so
     #: it round-trips through the disk cache with the rest of the row.
     telemetry: dict | None = None
+    #: Windowed timeline snapshot (``repro-timeline-v1``) when the run
+    #: was made with timeline sampling enabled; ``None`` otherwise.
+    #: JSON-safe and cached alongside the row, like ``telemetry``.
+    timeline: dict | None = None
 
     @property
     def cycles_per_iteration(self) -> float:
@@ -73,6 +79,7 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
                 validate: bool = True,
                 cache: RunCache | bool | None = None,
                 telemetry: bool | None = None,
+                timeline=None,
                 **manual_knobs) -> VariantResult:
     """Build, execute, and validate one variant on one machine.
 
@@ -86,52 +93,72 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         never changes the measured cycles; it adds the snapshot dict to
         the result (and to the run's cache key, so telemetry-on and
         telemetry-off entries never alias).
+    :param timeline: a :class:`~repro.telemetry.TimelineRecorder`,
+        ``True``/``False``, or ``None`` to follow
+        ``REPRO_SIM_TIMELINE``.  Like telemetry, sampling never changes
+        the measured cycles; the ``repro-timeline-v1`` snapshot rides
+        the result (and the cache key) the same way.
     """
-    module = workload.build_variant(variant, lookahead=lookahead,
-                                    options=options, **manual_knobs)
-    run_cache = resolve_run_cache(cache)
-    with_telemetry = telemetry_enabled(telemetry)
-    hit = key = None
-    if run_cache is not None:
-        # Keyed before prepare(): the RNG state at this point, plus the
-        # built IR, pin down the run's inputs exactly.
-        key = run_key(print_module(module), machine, workload, validate,
-                      telemetry=with_telemetry)
-        hit = run_cache.get(key)
-    memory = Memory(machine.line_size)
-    prepared = workload.prepare(memory)
-    if hit is not None:
-        TELEMETRY["cached_runs"] += 1
-        return VariantResult(**hit)
-    interp = Interpreter(module, memory, machine=machine,
-                         telemetry=with_telemetry)
-    result = interp.run(workload.entry, prepared.args)
-    if validate:
-        prepared.validate()
-    ms = result.memory_system
-    out = VariantResult(
-        workload=workload.name,
-        variant=variant,
-        machine=machine.name,
-        cycles=result.cycles,
-        instructions=result.stats.instructions,
-        loads=result.stats.loads,
-        prefetches=result.stats.prefetches,
-        iterations=prepared.iterations,
-        l1_hit_rate=ms.l1.stats.hit_rate if ms else 0.0,
-        dram_accesses=ms.dram.stats.accesses if ms else 0,
-        tlb_walks=ms.tlb.stats.misses if ms else 0,
-        telemetry=result.telemetry)
-    TELEMETRY["simulated_runs"] += 1
-    TELEMETRY["simulated_instructions"] += out.instructions
-    if interp.tracejit:
-        for row in interp.trace_report():
-            row.update(workload=workload.name, variant=variant,
-                       machine=machine.name)
-            TRACE_REPORT.append(row)
-    if run_cache is not None:
-        run_cache.put(key, dataclasses.asdict(out))
-    return out
+    with span("bench", "run_variant", workload=workload.name,
+              variant=variant, machine=machine.name) as job:
+        with span("bench", "build", workload=workload.name,
+                  variant=variant):
+            module = workload.build_variant(
+                variant, lookahead=lookahead, options=options,
+                **manual_knobs)
+        run_cache = resolve_run_cache(cache)
+        with_telemetry = telemetry_enabled(telemetry)
+        recorder = resolve_timeline(timeline)
+        hit = key = None
+        if run_cache is not None:
+            # Keyed before prepare(): the RNG state at this point, plus
+            # the built IR, pin down the run's inputs exactly.
+            key = run_key(print_module(module), machine, workload,
+                          validate, telemetry=with_telemetry,
+                          timeline=recorder is not None)
+            hit = run_cache.get(key)
+        memory = Memory(machine.line_size)
+        with span("bench", "prepare", workload=workload.name):
+            prepared = workload.prepare(memory)
+        if hit is not None:
+            job["cached"] = True
+            TELEMETRY["cached_runs"] += 1
+            return VariantResult(**hit)
+        job["cached"] = False
+        interp = Interpreter(module, memory, machine=machine,
+                             telemetry=with_telemetry,
+                             timeline=recorder)
+        with span("bench", "simulate", workload=workload.name,
+                  variant=variant, machine=machine.name):
+            result = interp.run(workload.entry, prepared.args)
+        if validate:
+            with span("bench", "validate", workload=workload.name):
+                prepared.validate()
+        ms = result.memory_system
+        out = VariantResult(
+            workload=workload.name,
+            variant=variant,
+            machine=machine.name,
+            cycles=result.cycles,
+            instructions=result.stats.instructions,
+            loads=result.stats.loads,
+            prefetches=result.stats.prefetches,
+            iterations=prepared.iterations,
+            l1_hit_rate=ms.l1.stats.hit_rate if ms else 0.0,
+            dram_accesses=ms.dram.stats.accesses if ms else 0,
+            tlb_walks=ms.tlb.stats.misses if ms else 0,
+            telemetry=result.telemetry,
+            timeline=result.timeline)
+        TELEMETRY["simulated_runs"] += 1
+        TELEMETRY["simulated_instructions"] += out.instructions
+        if interp.tracejit:
+            for row in interp.trace_report():
+                row.update(workload=workload.name, variant=variant,
+                           machine=machine.name)
+                TRACE_REPORT.append(row)
+        if run_cache is not None:
+            run_cache.put(key, dataclasses.asdict(out))
+        return out
 
 
 @dataclass
@@ -145,6 +172,7 @@ class RunSpec:
     options: PrefetchOptions | None = None
     validate: bool = True
     telemetry: bool | None = None
+    timeline: bool | None = None
     manual_knobs: dict = field(default_factory=dict)
 
     def run(self, cache=None) -> VariantResult:
@@ -152,6 +180,7 @@ class RunSpec:
         return run_variant(self.workload, self.variant, self.machine,
                            self.lookahead, self.options, self.validate,
                            cache=cache, telemetry=self.telemetry,
+                           timeline=self.timeline,
                            **self.manual_knobs)
 
 

@@ -159,6 +159,40 @@ def _build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for independent runs")
+
+    timeline_cmd = sub.add_parser(
+        "timeline",
+        help="flight-recorder phase report (windowed time series) for "
+             "a workload or figure")
+    timeline_cmd.add_argument(
+        "target",
+        help="workload name (is, cg, ra, hj2, hj8, g500-s16, g500-s21), "
+             "'quick' for the whole suite, or fig4a-d for one machine's "
+             "suite")
+    timeline_cmd.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="machine to simulate (default Haswell; ignored for "
+             "fig4a-d targets, which pin their machine)")
+    timeline_cmd.add_argument(
+        "--variant", default="auto", metavar="V",
+        help="variant to record (default auto)")
+    timeline_cmd.add_argument(
+        "--lookahead", type=int, default=64, metavar="C",
+        help="look-ahead constant c of eq. (1) (default 64)")
+    timeline_cmd.add_argument(
+        "--small", action="store_true",
+        help="scaled-down workloads (quick smoke sizes)")
+    timeline_cmd.add_argument(
+        "--window", type=int, default=None, metavar="CYCLES",
+        help="window width in simulated cycles (default: "
+             "REPRO_SIM_TIMELINE_WINDOW or 100000)")
+    timeline_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of tables")
+    timeline_cmd.add_argument(
+        "--perfetto", metavar="FILE",
+        help="write the runs as Chrome trace-event JSON (loadable at "
+             "ui.perfetto.dev) to FILE")
     return parser
 
 
@@ -367,9 +401,9 @@ def _bench_hot_report(figure, args: argparse.Namespace, out) -> int:
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     figure = _FIGURES.get(args.figure.lower())
     if figure is None:
-        print(f"error: unknown figure '{args.figure}'; available: "
-              + ", ".join(sorted(_FIGURES)), file=sys.stderr)
-        return 2
+        return _unknown_target(
+            "bench", args.figure,
+            "a figure (" + ", ".join(sorted(_FIGURES)) + ")")
     if args.hot_report:
         return _bench_hot_report(figure, args, out)
     if args.no_cache:
@@ -385,6 +419,22 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
 #: fig4 letters pin their machine (paper Table 1 names).
 _FIG4_MACHINES = {"fig4a": "Haswell", "fig4b": "A57", "fig4c": "A53",
                   "fig4d": "Xeon Phi"}
+
+#: What the workload-target commands accept, for error messages.
+_WORKLOAD_EXPECTED = ("a workload name (is, cg, ra, hj2, hj8, "
+                      "g500-s16, g500-s21), 'quick', or fig4a-fig4d")
+
+
+def _unknown_target(command: str, target: str, expected: str) -> int:
+    """Print the uniform unknown-target error; returns exit code 2.
+
+    Every subcommand that takes a figure/workload target (``bench``,
+    ``stats``, ``explain``, ``timeline``) reports failures through this
+    one helper so the message shape — and the exit code — never drift.
+    """
+    print(f"error: unknown {command} target '{target}'; expected "
+          f"{expected}", file=sys.stderr)
+    return 2
 
 
 def _stats_workloads(target: str, small: bool):
@@ -406,26 +456,37 @@ def _stats_workloads(target: str, small: bool):
     return matches or None
 
 
-def _cmd_stats(args: argparse.Namespace, out) -> int:
-    import json
+def _resolve_target(command: str, args: argparse.Namespace):
+    """Shared workload-target resolution for stats/explain/timeline.
 
+    Returns ``(workloads, machine)``; or ``None`` with the uniform
+    error already printed (exit code 2 is the caller's job).
+    """
     from .machine.configs import system_by_name
-    from .telemetry.report import (effectiveness_rows, render_effectiveness,
-                                   report_dict)
     target = args.target.lower()
     workloads = _stats_workloads(target, args.small)
     if workloads is None:
-        print(f"error: unknown stats target '{args.target}'; expected a "
-              "workload name (is, cg, ra, hj2, hj8, g500-s16, g500-s21), "
-              "'quick', or fig4a-fig4d", file=sys.stderr)
-        return 2
+        _unknown_target(command, args.target, _WORKLOAD_EXPECTED)
+        return None
     machine_name = _FIG4_MACHINES.get(target, args.machine or "Haswell")
     try:
         machine = system_by_name(machine_name)
     except KeyError:
         print(f"error: unknown machine '{machine_name}'",
               file=sys.stderr)
+        return None
+    return workloads, machine
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .telemetry.report import (effectiveness_rows, render_effectiveness,
+                                   report_dict)
+    resolved = _resolve_target("stats", args)
+    if resolved is None:
         return 2
+    workloads, machine = resolved
     rows = effectiveness_rows(workloads, machines=(machine,),
                               variant=args.variant,
                               lookahead=args.lookahead, jobs=args.jobs)
@@ -441,22 +502,11 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     import json
 
-    from .machine.configs import system_by_name
     from .remarks.join import explain_rows, render_explain, report_dict
-    target = args.target.lower()
-    workloads = _stats_workloads(target, args.small)
-    if workloads is None:
-        print(f"error: unknown explain target '{args.target}'; expected "
-              "a workload name (is, cg, ra, hj2, hj8, g500-s16, "
-              "g500-s21), 'quick', or fig4a-fig4d", file=sys.stderr)
+    resolved = _resolve_target("explain", args)
+    if resolved is None:
         return 2
-    machine_name = _FIG4_MACHINES.get(target, args.machine or "Haswell")
-    try:
-        machine = system_by_name(machine_name)
-    except KeyError:
-        print(f"error: unknown machine '{machine_name}'",
-              file=sys.stderr)
-        return 2
+    workloads, machine = resolved
     rows = explain_rows(workloads, machines=(machine,),
                         variant=args.variant,
                         lookahead=args.lookahead, jobs=args.jobs)
@@ -473,6 +523,43 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
         print(json.dumps(report_dict(rows), indent=2), file=out)
     else:
         print(render_explain(rows), file=out)
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .telemetry.perfetto import build_trace
+    from .telemetry.report import (render_timeline, timeline_report_dict,
+                                   timeline_rows)
+    from .telemetry.spans import SpanRecorder, recording
+    resolved = _resolve_target("timeline", args)
+    if resolved is None:
+        return 2
+    workloads, machine = resolved
+    if args.window is not None and args.window <= 0:
+        print(f"error: --window must be positive (got {args.window})",
+              file=sys.stderr)
+        return 2
+    # Runs are serial and span-traced: the recorder is in-process, so
+    # no worker pool (see repro.telemetry.spans).
+    recorder = SpanRecorder()
+    with recording(recorder):
+        rows = timeline_rows(workloads, machine, variant=args.variant,
+                             lookahead=args.lookahead,
+                             window=args.window)
+    if args.perfetto:
+        trace = build_trace(rows, recorder,
+                            meta={"machine": machine.name,
+                                  "variant": args.variant})
+        with open(args.perfetto, "w") as handle:
+            json.dump(trace, handle, indent=1)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(timeline_report_dict(rows), indent=2),
+              file=out)
+    else:
+        print(render_timeline(rows), file=out)
     return 0
 
 
@@ -500,4 +587,6 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_stats(args, out)
     if args.command == "explain":
         return _cmd_explain(args, out)
+    if args.command == "timeline":
+        return _cmd_timeline(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import os
 
+from ..telemetry.spans import span
 from .memory import MemoryFault
 
 # Compiled opcode kinds (shared with the interpreter, which imports them
@@ -160,10 +161,12 @@ def fuse_function(compiled, mode: str, bindings: dict) -> None:
         (:class:`Memory`), ``stats`` (:class:`RunStats`), and for timed
         modes ``core`` and ``ms`` (the :class:`MemorySystem`).
     """
-    compiled.raw_blocks = compiled.blocks
-    compiled.blocks = [
-        (_fuse_block(insts, mode, bindings), term, count)
-        for insts, term, count in compiled.blocks]
+    with span("compile", "fuse", function=compiled.function.name,
+              mode=mode, blocks=len(compiled.blocks)):
+        compiled.raw_blocks = compiled.blocks
+        compiled.blocks = [
+            (_fuse_block(insts, mode, bindings), term, count)
+            for insts, term, count in compiled.blocks]
 
 
 def _fuse_block(insts: list, mode: str, bindings: dict) -> list:

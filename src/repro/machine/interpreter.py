@@ -26,6 +26,7 @@ from ..ir.module import Module
 from ..ir.types import FloatType, IntType, PointerType, VoidType
 from ..ir.values import Argument, Constant, UndefValue, Value
 from ..telemetry.collector import TelemetryCollector, resolve_collector
+from ..telemetry.timeline import TimelineRecorder, resolve_timeline
 from .configs import MachineConfig
 from .core import make_core
 from .dram import DRAMChannel
@@ -318,6 +319,9 @@ class RunResult:
         functional mode) for cache/TLB/DRAM statistics.
     :ivar telemetry: the finalised telemetry snapshot dict, when a
         collector was attached (``None`` otherwise).
+    :ivar timeline: the windowed timeline snapshot dict
+        (``repro-timeline-v1``), when a recorder was attached
+        (``None`` otherwise).
     """
 
     value: object
@@ -325,6 +329,7 @@ class RunResult:
     stats: RunStats
     memory_system: MemorySystem | None = None
     telemetry: dict | None = None
+    timeline: dict | None = None
 
 
 class Interpreter:
@@ -348,6 +353,12 @@ class Interpreter:
         both a machine model and the fast path; silently off otherwise.
         Bit-identical to the other tiers (see
         :mod:`repro.machine.tracejit`).
+    :param timeline: a :class:`~repro.telemetry.TimelineRecorder`,
+        ``True``/``False`` to force windowed counter sampling on/off,
+        or ``None`` to follow ``REPRO_SIM_TIMELINE`` (default off).
+        Needs a machine model.  Sampling reads counters only at the
+        reference yield boundaries, so cycles are bit-identical with
+        sampling on or off under every execution tier.
     """
 
     def __init__(self, module: Module, memory: Memory | None = None,
@@ -355,13 +366,16 @@ class Interpreter:
                  dram: DRAMChannel | None = None,
                  fastpath: bool | None = None,
                  telemetry: "TelemetryCollector | bool | None" = None,
-                 tracejit: bool | None = None):
+                 tracejit: bool | None = None,
+                 timeline: "TimelineRecorder | bool | None" = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.machine = machine
         self.fastpath = fastpath_enabled(fastpath)
         self.telemetry = (resolve_collector(telemetry)
                           if machine is not None else None)
+        self.timeline = (resolve_timeline(timeline)
+                         if machine is not None else None)
         self.memory_system = (
             MemorySystem(machine, dram, fastpath=self.fastpath,
                          telemetry=self.telemetry)
@@ -418,15 +432,26 @@ class Interpreter:
         return self._tj.report() if self._tj is not None else []
 
     def run(self, func_name: str, args: list | None = None) -> RunResult:
-        """Execute ``func_name`` to completion and return the result."""
-        for _ in self.run_stepped(func_name, args, yield_every=0):
+        """Execute ``func_name`` to completion and return the result.
+
+        With a timeline recorder attached, the run is driven at the
+        recorder's sampling interval — the same reference yield
+        boundaries ``run_stepped`` exposes, so the cycle count is
+        unchanged (yields never advance time; the trace-JIT budget
+        exits at exactly these boundaries in every tier).
+        """
+        yield_every = (self.timeline.sample_every
+                       if self.timeline is not None else 0)
+        for _ in self.run_stepped(func_name, args,
+                                  yield_every=yield_every):
             pass
         return self._result
 
     def run_stepped(self, func_name: str, args: list | None = None,
                     yield_every: int = 10_000):
         """Generator form of :meth:`run`: yields the core's current time
-        every ``yield_every`` dynamic instructions (0 = never)."""
+        every ``yield_every`` dynamic instructions (0 = never).  An
+        attached timeline recorder samples at each yield boundary."""
         func = self.module.function(func_name)
         args = args or []
         if len(args) != len(func.args):
@@ -438,22 +463,32 @@ class Interpreter:
                          yield_every)
         value = None
         cycles_before = self.core.cycles if self.core else 0.0
+        timeline = self.timeline
         while True:
             try:
-                yield next(gen)
+                t = next(gen)
             except StopIteration as stop:
                 value = stop.value
                 break
+            if timeline is not None:
+                timeline.sample(self.core, self.memory_system,
+                                self.telemetry)
+            yield t
         cycles = (self.core.cycles - cycles_before) if self.core else 0.0
         telemetry = None
         if self.telemetry is not None:
             self.telemetry.finalize(self.memory_system, self.core)
             telemetry = self.telemetry.snapshot()
+        timeline_snap = None
+        if timeline is not None:
+            timeline.finalize(self.core, self.memory_system,
+                              self.telemetry)
+            timeline_snap = timeline.snapshot()
         self._result = RunResult(
             value=value[0] if value else None,
             cycles=cycles, stats=self.stats,
             memory_system=self.memory_system,
-            telemetry=telemetry)
+            telemetry=telemetry, timeline=timeline_snap)
 
     # -- the execution engine ------------------------------------------------
 

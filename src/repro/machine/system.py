@@ -578,6 +578,16 @@ class MemorySystem:
         self.prefetcher.reset()
         self._hot.clear()
 
+    def mshr_occupancy(self, time: float) -> int:
+        """Outstanding line fills still in flight at ``time``.
+
+        A pure read for the timeline sampler: completed-but-unpruned
+        heap entries are *not* counted, and the heap itself is left
+        untouched (pruning happens only on the acquire paths, so a
+        sampler must never pop).
+        """
+        return sum(1 for done in self.mshrs._completions if done > time)
+
     def snapshot(self) -> dict:
         """Every statistic of the hierarchy as one nested dict.
 

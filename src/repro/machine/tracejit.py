@@ -60,6 +60,7 @@ from __future__ import annotations
 import os
 
 from ..remarks import emit as remark_emit
+from ..telemetry.spans import instant, span
 from .fastexec import _Emitter, _FUSABLE, compile_source
 
 #: Budget passed to traces when the run never yields.
@@ -202,7 +203,9 @@ class TraceJIT:
             nops += len(insts)
         if nops > self.max_ops:
             return self.abort(state, header, "too-many-ops")
-        trace = self._compile(compiled, path, nops, selfloops)
+        with span("tracejit", "compile", function=compiled.function.name,
+                 blocks=len(path), ops=nops):
+            trace = self._compile(compiled, path, nops, selfloops)
         state.traces[header] = trace
         self.traces.append(trace)
         self.compiles += 1
@@ -210,6 +213,8 @@ class TraceJIT:
                     function=trace.func, header=trace.header_name,
                     blocks=len(path), ops=nops, nested=len(selfloops),
                     mode=self.mode, fastpath=trace.fp)
+        instant("tracejit", "TraceCompiled", function=trace.func,
+                header=trace.header_name, blocks=len(path), ops=nops)
         return trace
 
     def abort(self, state: FunctionState, header: int, reason: str
@@ -219,6 +224,8 @@ class TraceJIT:
         self.aborts += 1
         remark_emit("analysis", "trace-jit", "TraceDeopt",
                     header=str(header), reason=reason, stage="record")
+        instant("tracejit", "TraceDeopt", header=str(header),
+                reason=reason, stage="record")
         return None
 
     def deopt(self, state: FunctionState, trace: Trace, reason: str
@@ -235,6 +242,8 @@ class TraceJIT:
                     function=trace.func, header=trace.header_name,
                     reason=reason, stage="run",
                     iterations=trace.iters, entries=trace.entries)
+        instant("tracejit", "TraceDeopt", function=trace.func,
+                header=trace.header_name, reason=reason, stage="run")
 
     # -- reporting ------------------------------------------------------
 

@@ -6,8 +6,12 @@ remark emitter is installed — either passed to the constructor or
 already active via :func:`repro.remarks.collecting` — the manager also
 records per-pass instrumentation: wall time and IR-size deltas
 (instructions and blocks before → after), emitted as ``PassExecuted``
-analysis remarks.  With no emitter anywhere, the run loop is exactly
-the uninstrumented original: no timing calls, no IR walks.
+analysis remarks.  An active span recorder
+(:func:`repro.telemetry.spans.recording`) likewise turns the
+instrumentation on and receives one ``pass`` span per pass, reusing the
+same wall-time measurement.  With no emitter or recorder anywhere, the
+run loop is exactly the uninstrumented original: no timing calls, no
+IR walks.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import time
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..remarks import (RemarkEmitter, active_emitter, collecting, emit)
+from ..telemetry.spans import active_recorder
 
 
 def _ir_size(module: Module) -> tuple[int, int]:
@@ -64,13 +69,18 @@ class PassManager:
         if self.emitter is not None:
             with collecting(self.emitter):
                 return self._run(module, instrumented=True)
-        return self._run(module, instrumented=active_emitter() is not None)
+        instrumented = (active_emitter() is not None
+                        or active_recorder() is not None)
+        return self._run(module, instrumented=instrumented)
 
     def _run(self, module: Module, instrumented: bool) -> dict[str, object]:
         reports: dict[str, object] = {}
+        recorder = active_recorder() if instrumented else None
         for pass_ in self._passes:
             if instrumented:
                 insts_before, blocks_before = _ir_size(module)
+                if recorder is not None:
+                    span_start = recorder.now_us()
                 start = time.perf_counter()
             reports[pass_.name] = pass_.run(module)
             if instrumented:
@@ -81,6 +91,15 @@ class PassManager:
                      insts_before=insts_before, insts_after=insts_after,
                      blocks_before=blocks_before,
                      blocks_after=blocks_after)
+                if recorder is not None:
+                    # One pipeline span per pass, sharing the remark's
+                    # wall-time measurement.
+                    recorder.add_span(
+                        "pass", pass_.name, span_start, wall_us,
+                        {"insts_before": insts_before,
+                         "insts_after": insts_after,
+                         "blocks_before": blocks_before,
+                         "blocks_after": blocks_after})
             if self.verify_between:
                 verify_module(module)
         return reports

@@ -72,6 +72,8 @@ KNOWN_REMARKS: dict[str, str] = {
     # Runtime configuration warnings.
     "TelemetryRingClamped":
         "REPRO_SIM_TELEMETRY_RING was invalid and a fallback was used",
+    "TimelineWindowClamped":
+        "REPRO_SIM_TIMELINE_WINDOW was invalid and a fallback was used",
 }
 
 #: Arg keys whose values are wall-clock measurements and therefore vary

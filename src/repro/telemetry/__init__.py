@@ -19,9 +19,14 @@ Layout:
 * :mod:`repro.telemetry.outcomes` — the outcome taxonomy;
 * :mod:`repro.telemetry.collector` — :class:`TelemetryCollector`, the
   bounded event ring and aggregation tables;
-* :mod:`repro.telemetry.report` — prefetch-effectiveness reports over
-  the benchmark suite (imported on demand; it pulls in the bench
-  harness).
+* :mod:`repro.telemetry.timeline` — the flight recorder's windowed
+  time-series sampler (``REPRO_SIM_TIMELINE``);
+* :mod:`repro.telemetry.spans` — wall-clock pipeline spans (frontend,
+  passes, JIT compiles, cache probes, bench jobs);
+* :mod:`repro.telemetry.perfetto` — Chrome trace-event export of both;
+* :mod:`repro.telemetry.report` — prefetch-effectiveness and timeline
+  reports over the benchmark suite (imported on demand; it pulls in
+  the bench harness).
 """
 
 from .collector import (DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY,
@@ -29,10 +34,20 @@ from .collector import (DEFAULT_RING_CAPACITY, MAX_RING_CAPACITY,
                         ring_capacity, telemetry_enabled)
 from .outcomes import (DROPPED, EARLY, LATE, OUTCOMES, REDUNDANT, TIMELY,
                        UNUSED)
+from .spans import (SpanRecorder, active_recorder, instant, recording,
+                    span)
+from .timeline import (DEFAULT_SAMPLE_EVERY, DEFAULT_WINDOW_CYCLES,
+                       MIN_WINDOW_CYCLES, TimelineRecorder,
+                       resolve_timeline, timeline_enabled,
+                       timeline_window)
 
 __all__ = [
     "TelemetryCollector", "resolve_collector", "telemetry_enabled",
     "ring_capacity", "DEFAULT_RING_CAPACITY", "MAX_RING_CAPACITY",
     "OUTCOMES", "TIMELY", "LATE", "EARLY", "REDUNDANT", "DROPPED",
     "UNUSED",
+    "TimelineRecorder", "resolve_timeline", "timeline_enabled",
+    "timeline_window", "DEFAULT_WINDOW_CYCLES", "MIN_WINDOW_CYCLES",
+    "DEFAULT_SAMPLE_EVERY",
+    "SpanRecorder", "recording", "span", "instant", "active_recorder",
 ]

@@ -1,0 +1,161 @@
+"""Chrome trace-event (Perfetto) export of timelines and spans.
+
+Serialises flight-recorder data as the Trace Event Format JSON that
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* **pid 1 — "simulation"**: one counter track (``ph: "C"``) per metric
+  per workload, sampled at each timeline window's closing edge, with
+  simulated cycles standing in for microseconds; plus one span track
+  per workload whose ``X`` events are the windows themselves, so the
+  phase structure is visible at a glance.
+* **pid 2 — "pipeline"**: wall-clock ``X`` spans from the
+  :class:`~repro.telemetry.spans.SpanRecorder` (frontend, passes,
+  fuse/trace compiles, cache probes, bench jobs) on one thread per
+  span category, and trace-JIT ``TraceCompiled``/``TraceDeopt``
+  events as instants (``ph: "i"``).
+
+The two pids keep the two timebases (simulated cycles vs wall
+microseconds) from sharing an axis.
+
+Determinism: simulated-time events are exactly reproducible; wall-clock
+events are not.  :func:`canonical_json` therefore zeroes ``ts``/``dur``
+on every pipeline-pid event and serialises with sorted keys, giving a
+byte-comparable form — two runs of the same workloads must produce
+identical canonical traces (``tools/check_timeline.py`` gates this).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+#: Trace schema tag, recorded in ``otherData``.
+TRACE_SCHEMA = "repro-timeline-trace-v1"
+
+#: Synthetic process IDs: simulated-time tracks vs wall-clock tracks.
+SIM_PID = 1
+PIPELINE_PID = 2
+
+#: Span categories get stable thread IDs so Perfetto groups them.
+_CATEGORY_TIDS = {"bench": 1, "frontend": 2, "pass": 3, "compile": 4,
+                  "tracejit": 5, "cache": 6}
+_OTHER_TID = 7
+
+
+def _meta(pid: int, name: str, tid: int | None = None,
+          thread_name: str | None = None) -> list[dict]:
+    events = [{"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+               "args": {"name": name}}]
+    if tid is not None:
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": thread_name or name}})
+    return events
+
+
+def timeline_events(label: str, timeline: dict, tid: int) -> list[dict]:
+    """Counter + window-span events for one run's timeline snapshot."""
+    events: list[dict] = [
+        {"ph": "M", "pid": SIM_PID, "tid": tid, "name": "thread_name",
+         "args": {"name": f"{label} windows"}}]
+    for w in timeline.get("windows", []):
+        ts = w["end_cycle"]
+        events.append({
+            "ph": "X", "pid": SIM_PID, "tid": tid, "cat": "window",
+            "name": f"w{w['index']}", "ts": w["start_cycle"],
+            "dur": w["cycles"],
+            "args": {"instructions": w["instructions"],
+                     "ipc": w["ipc"],
+                     "mshr_high_water": w["mshr_high_water"]}})
+        events.append({
+            "ph": "C", "pid": SIM_PID, "tid": 0,
+            "name": f"{label}: IPC", "ts": ts,
+            "args": {"ipc": w["ipc"]}})
+        events.append({
+            "ph": "C", "pid": SIM_PID, "tid": 0,
+            "name": f"{label}: stall cycles", "ts": ts,
+            "args": {"issue": w["issue_cycles"],
+                     "stall": w["stall_cycles"]}})
+        for level, stats in w["levels"].items():
+            events.append({
+                "ph": "C", "pid": SIM_PID, "tid": 0,
+                "name": f"{label}: {level} MPKI", "ts": ts,
+                "args": {"mpki": stats["mpki"]}})
+        events.append({
+            "ph": "C", "pid": SIM_PID, "tid": 0,
+            "name": f"{label}: TLB misses", "ts": ts,
+            "args": {"misses": w["tlb_misses"]}})
+        events.append({
+            "ph": "C", "pid": SIM_PID, "tid": 0,
+            "name": f"{label}: MSHR high-water", "ts": ts,
+            "args": {"entries": w["mshr_high_water"]}})
+        if w.get("outcomes"):
+            events.append({
+                "ph": "C", "pid": SIM_PID, "tid": 0,
+                "name": f"{label}: prefetch outcomes", "ts": ts,
+                "args": dict(sorted(w["outcomes"].items()))})
+    return events
+
+
+def span_events(recorder) -> list[dict]:
+    """Wall-clock span/instant events from a
+    :class:`~repro.telemetry.spans.SpanRecorder`."""
+    events: list[dict] = []
+    seen_tids: set[int] = set()
+    for record in recorder.records:
+        tid = _CATEGORY_TIDS.get(record["category"], _OTHER_TID)
+        if tid not in seen_tids:
+            seen_tids.add(tid)
+            events.append({
+                "ph": "M", "pid": PIPELINE_PID, "tid": tid,
+                "name": "thread_name",
+                "args": {"name": record["category"]}})
+        if record["type"] == "span":
+            events.append({
+                "ph": "X", "pid": PIPELINE_PID, "tid": tid,
+                "cat": record["category"], "name": record["name"],
+                "ts": record["start_us"], "dur": record["dur_us"],
+                "args": dict(record["args"])})
+        else:
+            events.append({
+                "ph": "i", "s": "t", "pid": PIPELINE_PID, "tid": tid,
+                "cat": record["category"], "name": record["name"],
+                "ts": record["ts_us"], "args": dict(record["args"])})
+    return events
+
+
+def build_trace(rows: list[dict], recorder=None,
+                meta: dict | None = None) -> dict:
+    """Assemble one loadable trace document.
+
+    :param rows: ``timeline_rows`` output — dicts with ``workload`` and
+        ``timeline`` (a ``repro-timeline-v1`` snapshot or ``None``).
+    :param recorder: optional span recorder for the pipeline tracks.
+    :param meta: extra key/values for ``otherData`` (machine, variant).
+    """
+    events = _meta(SIM_PID, "simulation (ts = simulated cycles)")
+    for i, row in enumerate(rows):
+        if row.get("timeline"):
+            events.extend(timeline_events(row["workload"],
+                                          row["timeline"], tid=i + 1))
+    if recorder is not None and recorder.records:
+        events.extend(_meta(PIPELINE_PID, "pipeline (ts = wall µs)"))
+        events.extend(span_events(recorder))
+    other = {"schema": TRACE_SCHEMA, "generator": "repro timeline"}
+    other.update(meta or {})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def canonical_json(trace: dict) -> str:
+    """Byte-comparable form of a trace: wall-clock timestamps zeroed
+    (pipeline pid only — simulated-time events must already be
+    deterministic), keys sorted, compact separators."""
+    trace = copy.deepcopy(trace)
+    for event in trace.get("traceEvents", []):
+        if event.get("pid") == PIPELINE_PID:
+            if "ts" in event:
+                event["ts"] = 0
+            if "dur" in event:
+                event["dur"] = 0
+    return json.dumps(trace, sort_keys=True, separators=(",", ":"))

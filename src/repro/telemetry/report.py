@@ -1,10 +1,14 @@
-"""Prefetch-effectiveness report built from telemetry snapshots.
+"""Prefetch-effectiveness and timeline reports from telemetry snapshots.
 
 Runs plain + prefetched variants with telemetry enabled and tabulates,
 per (workload, machine): the speedup, the outcome of every software
 prefetch (timely / late / early / redundant / dropped / unused), the
 derived accuracy and timeliness ratios, and the change in memory-stall
 cycles — the observability companion to the paper's Fig. 4 speedups.
+
+:func:`timeline_rows` / :func:`render_timeline` are the flight
+recorder's phase view: the same runs with windowed sampling on, shown
+as one table per run with per-window IPC, MPKI, and timely/late splits.
 
 Imported on demand by the CLI and ``tools/telemetry_report.py`` (not
 from :mod:`repro.telemetry` itself) because it depends on
@@ -14,9 +18,10 @@ from :mod:`repro.telemetry` itself) because it depends on
 from __future__ import annotations
 
 from ..bench.reporting import format_table
-from ..bench.runner import RunSpec, run_specs
+from ..bench.runner import RunSpec, run_specs, run_variant
 from ..machine.configs import ALL_SYSTEMS, MachineConfig
 from ..workloads.base import Workload
+from .timeline import TimelineRecorder
 
 #: Columns of the rendered effectiveness table, in order.
 COLUMNS = ["Benchmark", "Machine", "Speedup", "Issued", "Timely",
@@ -102,3 +107,78 @@ def render_effectiveness(rows: list[dict],
 def report_dict(rows: list[dict]) -> dict:
     """The rows wrapped in a schema-tagged, JSON-serialisable report."""
     return {"schema": "repro-telemetry-report-v1", "rows": rows}
+
+
+def timeline_rows(workloads: list[Workload],
+                  machine: MachineConfig,
+                  variant: str = "auto",
+                  lookahead: int = 64,
+                  window: int | None = None,
+                  cache=None) -> list[dict]:
+    """Run each workload with telemetry + timeline sampling enabled.
+
+    Runs are **serial** (no worker pool): the flight recorder's span
+    records live in-process, and forked workers would drop them.  Each
+    run gets a fresh :class:`TimelineRecorder`; the resulting
+    ``repro-timeline-v1`` snapshot rides the row (from the live run or
+    from the disk cache — the snapshot is cached with the result).
+    """
+    rows = []
+    for workload in workloads:
+        recorder = TimelineRecorder(window=window)
+        result = run_variant(workload, variant, machine,
+                             lookahead=lookahead, telemetry=True,
+                             timeline=recorder, cache=cache)
+        rows.append({
+            "workload": workload.name,
+            "machine": machine.name,
+            "variant": variant,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "timeline": result.timeline,
+        })
+    return rows
+
+
+def render_timeline(rows: list[dict]) -> str:
+    """The timeline rows as per-run phase tables.
+
+    One table per (workload, machine) run; one line per window with the
+    window's IPC, per-level MPKI, TLB misses, MSHR high-water, and the
+    timely/late prefetch split for that window.
+    """
+    out = []
+    for row in rows:
+        timeline = row.get("timeline")
+        title = (f"{row['workload']} on {row['machine']} "
+                 f"({row['variant']}) — "
+                 f"window {timeline['window_cycles']} cycles"
+                 if timeline else
+                 f"{row['workload']} on {row['machine']} "
+                 f"({row['variant']})")
+        if not timeline or not timeline.get("windows"):
+            out.append(title + "\n(no timeline windows recorded)\n")
+            continue
+        levels = list(timeline["windows"][0]["levels"])
+        headers = (["Win", "End cycle", "Instr", "IPC"]
+                   + [f"{lv} MPKI" for lv in levels]
+                   + ["TLB", "MSHR", "Timely", "Late", "Timely%"])
+        body = []
+        for w in timeline["windows"]:
+            outcomes = w.get("outcomes") or {}
+            timely = outcomes.get("timely", 0)
+            late = outcomes.get("late", 0)
+            split = timely + late
+            body.append(
+                [w["index"], int(w["end_cycle"]), w["instructions"],
+                 w["ipc"]]
+                + [w["levels"][lv]["mpki"] for lv in levels]
+                + [w["tlb_misses"], w["mshr_high_water"], timely, late,
+                   100.0 * timely / split if split else 0.0])
+        out.append(format_table(headers, body, title))
+    return "\n".join(out)
+
+
+def timeline_report_dict(rows: list[dict]) -> dict:
+    """Timeline rows wrapped in a schema-tagged report."""
+    return {"schema": "repro-timeline-report-v1", "rows": rows}

@@ -1,0 +1,111 @@
+"""Span-based tracing of the compile→simulate pipeline.
+
+Where :mod:`repro.telemetry.timeline` watches *simulated* time, the
+span recorder watches *wall-clock* time across the pipeline itself:
+frontend compiles, each optimization pass (the same measurement the
+``PassExecuted`` remark reports), fused-segment and trace-JIT compiles,
+run-cache probes, and bench-runner jobs.  The records feed the Chrome
+trace-event export (:mod:`repro.telemetry.perfetto`) as one span track
+per pipeline stage, with trace-JIT compile/deopt events as instants.
+
+The design mirrors :mod:`repro.remarks.emitter`: a context-scoped
+recorder stack, so instrumentation sites call :func:`span` /
+:func:`instant` unconditionally and pay nothing unless a recorder is
+installed via :func:`recording`.  Spans are recorded in completion
+order (a parent closes after its children), which is deterministic for
+a deterministic pipeline; only the wall-clock timestamps vary run to
+run, and the export's canonical form zeroes them.
+
+Process scope: the recorder is in-process only.  Forked bench workers
+(``run_specs`` with ``jobs > 1``) do not propagate their spans back,
+like the trace report — drive runs serially when tracing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+_ACTIVE: list["SpanRecorder"] = []
+
+
+class SpanRecorder:
+    """Append-only list of span/instant records with a private epoch.
+
+    Timestamps are integer microseconds since the recorder was
+    created, so a single recorder's records share one timebase.
+    """
+
+    def __init__(self):
+        self._epoch = time.perf_counter()
+        self.records: list[dict] = []
+
+    def now_us(self) -> int:
+        """Microseconds since this recorder's epoch."""
+        return int((time.perf_counter() - self._epoch) * 1e6)
+
+    def add_span(self, category: str, name: str, start_us: int,
+                 dur_us: int, args: dict | None = None) -> None:
+        """Record a completed span (used directly when the caller
+        already measured the duration, e.g. the pass manager reusing
+        the ``PassExecuted`` wall time)."""
+        self.records.append({
+            "type": "span", "category": category, "name": name,
+            "start_us": int(start_us), "dur_us": max(0, int(dur_us)),
+            "args": dict(args or {})})
+
+    def add_instant(self, category: str, name: str,
+                    args: dict | None = None) -> None:
+        """Record a zero-duration event at the current time."""
+        self.records.append({
+            "type": "instant", "category": category, "name": name,
+            "ts_us": self.now_us(), "args": dict(args or {})})
+
+    def spans(self, category: str | None = None) -> list[dict]:
+        """The recorded spans, optionally filtered by category."""
+        return [r for r in self.records if r["type"] == "span"
+                and (category is None or r["category"] == category)]
+
+
+def active_recorder() -> SpanRecorder | None:
+    """The innermost active recorder, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def recording(recorder: SpanRecorder):
+    """Install ``recorder`` as the active span sink for the block."""
+    _ACTIVE.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def span(category: str, name: str, **args):
+    """Record a wall-clock span around the block (no-op when no
+    recorder is active).
+
+    Yields a dict the block may fill with result arguments (e.g. a
+    cache probe setting ``hit``); they merge into ``args`` at close.
+    """
+    extra: dict = {}
+    recorder = _ACTIVE[-1] if _ACTIVE else None
+    if recorder is None:
+        yield extra
+        return
+    start = recorder.now_us()
+    try:
+        yield extra
+    finally:
+        args.update(extra)
+        recorder.add_span(category, name, start,
+                          recorder.now_us() - start, args)
+
+
+def instant(category: str, name: str, **args) -> None:
+    """Record an instant event (no-op when no recorder is active)."""
+    recorder = _ACTIVE[-1] if _ACTIVE else None
+    if recorder is not None:
+        recorder.add_instant(category, name, args)

@@ -104,8 +104,85 @@ class TestBenchErrors:
         assert code == 2
         assert out == ""
         err = capsys.readouterr().err
-        assert "unknown figure 'fig99'" in err
+        assert "unknown bench target 'fig99'" in err
         assert "fig4a" in err  # lists the available figures
+
+
+class TestUniformUnknownTargets:
+    """bench/stats/explain/timeline share one unknown-target message
+    shape (``error: unknown <cmd> target '<t>'; expected ...``) and
+    exit code 2."""
+
+    @pytest.mark.parametrize("command",
+                             ("stats", "explain", "timeline"))
+    def test_workload_commands_share_stats_message(self, command,
+                                                   capsys):
+        code, out = run_cli(command, "nonesuch")
+        assert code == 2
+        assert out == ""
+        err = capsys.readouterr().err
+        assert f"unknown {command} target 'nonesuch'" in err
+        assert ("expected a workload name (is, cg, ra, hj2, hj8, "
+                "g500-s16, g500-s21), 'quick', or fig4a-fig4d") in err
+
+    def test_bench_message_has_the_same_shape(self, capsys):
+        code, _ = run_cli("bench", "nonesuch")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: unknown bench target 'nonesuch'; expected " \
+            in err
+
+    @pytest.mark.parametrize("command", ("explain", "timeline"))
+    def test_unknown_machine_exits_2(self, command, capsys):
+        code, _ = run_cli(command, "is", "--machine", "Pentium")
+        assert code == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+
+class TestBenchHotReport:
+    def test_hot_report_prints_traces_and_remarks(self):
+        code, out = run_cli("bench", "fig2", "--small", "--hot-report",
+                            "--hot-top", "5")
+        assert code == 0
+        assert "Fig. 2: prefetch schemes" in out
+        assert "Hottest traces" in out
+        # The trace table carries per-trace provenance columns…
+        for column in ("workload", "function", "iterations",
+                       "% sim"):
+            assert column in out
+        # …and the remark stream section follows.
+        assert "Trace-JIT remarks (repro-remarks-v1):" in out
+        assert "TraceCompiled" in out
+
+    def test_hot_report_restores_environment(self, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_SIM_TRACEJIT", raising=False)
+        monkeypatch.setenv("REPRO_SIM_CACHE", "0")
+        code, _ = run_cli("bench", "fig2", "--small", "--hot-report")
+        assert code == 0
+        assert "REPRO_SIM_TRACEJIT" not in os.environ
+        assert os.environ["REPRO_SIM_CACHE"] == "0"
+
+
+class TestRingClampViaCli:
+    """An invalid REPRO_SIM_TELEMETRY_RING must warn and fall back —
+    never abort — when reached through the CLI's telemetry runs."""
+
+    def test_bogus_ring_warns_and_still_reports(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TELEMETRY_RING", "bogus")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_SIM_TELEMETRY_RING='bogus' is "
+                                "not an integer"):
+            code, out = run_cli("stats", "is", "--small", "--jobs",
+                                "1")
+        assert code == 0
+        assert "IS" in out
+
+    def test_oversized_ring_clamps_not_crashes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TELEMETRY_RING", str(1 << 30))
+        with pytest.warns(RuntimeWarning, match="above the maximum"):
+            code, _ = run_cli("stats", "is", "--small", "--jobs", "1")
+        assert code == 0
 
 
 class TestStatsCommand:

@@ -109,6 +109,36 @@ def run_phase(suite, fastpath: bool, tracejit: bool,
             "total_s": round(total, 3), "telemetry": dict(TELEMETRY)}
 
 
+def host_metadata() -> dict:
+    """Who/where/when stamp for the report.
+
+    The bench trajectory is only comparable across boxes when each
+    report says what produced it: interpreter version, platform, CPU
+    count, the measured commit, and a UTC timestamp.
+    """
+    import datetime
+    import platform
+    import subprocess
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": sha,
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
+
+
 def _ratio(num: float, den: float) -> float:
     return round(num / den, 2) if den else 0.0
 
@@ -141,6 +171,7 @@ def build_report(suite, args, slow, cold, jit, populate, warm) -> dict:
     sim_insts = slow["telemetry"]["simulated_instructions"]
     return {
         "generated_by": "tools/bench_perf.py",
+        "host": host_metadata(),
         "quick": args.quick,
         "jobs": args.jobs,
         "figures": figures,
