@@ -17,6 +17,7 @@ from ..ir import print_module
 from ..machine.configs import MachineConfig
 from ..machine.interpreter import Interpreter
 from ..machine.memory import Memory
+from ..machine.vectorsim import vector_enabled
 from ..passes.prefetch import PrefetchOptions
 from ..telemetry import telemetry_enabled
 from ..telemetry.spans import span
@@ -115,7 +116,8 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
             # the built IR, pin down the run's inputs exactly.
             key = run_key(print_module(module), machine, workload,
                           validate, telemetry=with_telemetry,
-                          timeline=recorder is not None)
+                          timeline=recorder is not None,
+                          vector=vector_enabled(None))
             hit = run_cache.get(key)
         memory = Memory(machine.line_size)
         with span("bench", "prepare", workload=workload.name):

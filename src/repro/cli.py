@@ -93,9 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cache root (default: REPRO_SIM_CACHE_DIR or .sim-cache)")
     bench_cmd.add_argument(
         "--hot-report", action="store_true",
-        help="run the figure under the trace-JIT tier (disk cache off, "
-             "single process) and print the hottest compiled traces "
-             "and their TraceCompiled/TraceDeopt remarks")
+        help="run the figure under the trace-JIT + vector tiers (disk "
+             "cache off, single process) and print the hottest compiled "
+             "traces, their vectorized-batch coverage, and their "
+             "TraceCompiled/TraceDeopt/VectorBatchCompiled/VectorDeopt "
+             "remarks")
     bench_cmd.add_argument(
         "--hot-top", type=int, default=10, metavar="N",
         help="rows in the --hot-report table (default 10)")
@@ -352,17 +354,20 @@ _FIGURES = {
 
 
 def _bench_hot_report(figure, args: argparse.Namespace, out) -> int:
-    """Run one figure under the trace-JIT tier and print the hottest
-    traces: loop header, iteration count, and share of the simulated
-    instructions, plus the tier's remark stream."""
+    """Run one figure under the trace-JIT + vector tiers and print the
+    hottest traces: loop header, iteration count, share of the simulated
+    instructions, and how much of each trace ran as vectorized batches,
+    plus the tiers' remark stream."""
     from .bench.runner import TELEMETRY, TRACE_REPORT, reset_telemetry
     from .remarks import RemarkEmitter, collecting, render_remarks
     saved = {k: os.environ.get(k)
-             for k in ("REPRO_SIM_CACHE", "REPRO_SIM_TRACEJIT")}
+             for k in ("REPRO_SIM_CACHE", "REPRO_SIM_TRACEJIT",
+                       "REPRO_SIM_VECTOR")}
     # Cached runs never execute (no traces) and pooled workers keep
     # their trace rows: force real single-process simulation.
     os.environ["REPRO_SIM_CACHE"] = "0"
     os.environ["REPRO_SIM_TRACEJIT"] = "1"
+    os.environ["REPRO_SIM_VECTOR"] = "1"
     reset_telemetry()
     emitter = RemarkEmitter()
     try:
@@ -380,18 +385,22 @@ def _bench_hot_report(figure, args: argparse.Namespace, out) -> int:
                   reverse=True)
     top = rows[:max(args.hot_top, 0)]
     headers = ["workload", "variant", "machine", "function", "loop",
-               "iterations", "instructions", "% sim"]
+               "iterations", "instructions", "% sim", "vec iters"]
     body = [[r["workload"], r["variant"], r["machine"], r["function"],
              r["header"], r["iterations"], r["instructions"],
              (f"{100.0 * r['instructions'] / total:.1f}%"
-              if total else "-")]
+              if total else "-"),
+             (f"{r['vector_iterations']} "
+              f"({r['vector_batches']} batches)"
+              if r.get("vector_batches") else "-")]
             for r in top]
     print(format_table(
         headers, body,
         f"Hottest traces — top {len(top)} of {len(rows)} "
         f"({total} simulated instructions)"), file=out)
     trace_remarks = [r for r in emitter
-                     if r.name in ("TraceCompiled", "TraceDeopt")]
+                     if r.name in ("TraceCompiled", "TraceDeopt",
+                                   "VectorBatchCompiled", "VectorDeopt")]
     print(render_remarks(trace_remarks,
                          title="Trace-JIT remarks (repro-remarks-v1):"),
           file=out)

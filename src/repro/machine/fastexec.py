@@ -212,6 +212,11 @@ class _Emitter:
         self.env = env
         self.body: list[str] = []
         self.locals_tier = locals_tier
+        #: When false, only the timing arithmetic is emitted: the
+        #: vectorized tier (:mod:`repro.machine.vectorsim`) computes all
+        #: functional effects with numpy up front and replays timing
+        #: from precomputed per-iteration values.
+        self.functional = True
         self.slots: set[int] = set()
         self.counts = {"loads": 0, "stores": 0, "prefetches": 0}
         self.site = 0
@@ -257,7 +262,8 @@ class _Emitter:
             self.hot = {
                 "line": _div_expr("addr", ms.line_size),
                 "set": _mod_expr("line", l1.num_sets),
-                "pb": ms.tlb.page_bits, "lat": repr(l1.latency),
+                "page": f"(page := addr >> {ms.tlb.page_bits})",
+                "lat": repr(l1.latency),
             }
 
     # -- operand naming ------------------------------------------------
@@ -367,11 +373,13 @@ class _Emitter:
         :param wrapped: expression put through 64-bit signed wrap first.
         """
         emit = self.out
-        if wrapped is not None:
-            emit(f"_v = {wrapped} & {_M64}")
-            emit(f"{self.reg(dst)} = _v - {_W64} if _v >= {_H64} else _v")
-        else:
-            emit(f"{self.reg(dst)} = {value}")
+        if self.functional:
+            if wrapped is not None:
+                emit(f"_v = {wrapped} & {_M64}")
+                emit(f"{self.reg(dst)} = "
+                     f"_v - {_W64} if _v >= {_H64} else _v")
+            else:
+                emit(f"{self.reg(dst)} = {value}")
         if not self.timed:
             return
         self.issue_and(specs)
@@ -411,7 +419,7 @@ class _Emitter:
         hot = self.hot
         return (f"entry is not None and entry[0] <= issue and "
                 f"(lines := _l1s[{hot['set']}]).get(line) is entry "
-                f"and (page := addr >> {hot['pb']}) in _tp")
+                f"and {hot['page']} in _tp")
 
     def stat(self, target: str, local: str) -> str:
         """One monotone counter bump.
@@ -469,6 +477,24 @@ class _Emitter:
         # The guard above replicates load()/store()'s own memo probe, so
         # on failure go straight to the inlined miss walk.
         emit(f"    rdy = _ms_demand({pc}, addr, issue, {is_write})")
+
+    # -- functional memory effects (overridable per tier) --------------
+
+    def load_functional(self, dst: int, ptr_spec, site: int) -> None:
+        """Functional effect of a load: resolve ``addr`` + data read."""
+        self.env[f"_c{site}"] = [None, 0, -1, 1, None]
+        self.address(ptr_spec, site, "load")
+        self.out(f"{self.reg(dst)} = _m[4][_q]")
+
+    def store_functional(self, val_spec, ptr_spec, site: int) -> None:
+        """Functional effect of a store: resolve ``addr`` + data write."""
+        self.env[f"_c{site}"] = [None, 0, -1, 1, None]
+        self.address(ptr_spec, site, "store")
+        self.out(f"_m[4][_q] = {self.operand(*val_spec)}")
+
+    def prefetch_functional(self, ptr_spec) -> None:
+        """Resolve ``addr`` for a prefetch (no architectural effect)."""
+        self.out(f"addr = {self.operand(*ptr_spec)}")
 
     # -- one fusable instruction ---------------------------------------
 
@@ -530,10 +556,8 @@ class _Emitter:
         elif kind == _LOAD:
             _, dst, pc, pc_const, p, cache = inst
             self.counts["loads"] += 1
-            self.env[f"_c{self.site}"] = [None, 0, -1, 1, None]
-            self.address((pc_const, p), self.site, "load")
+            self.load_functional(dst, (pc_const, p), self.site)
             self.site += 1
-            emit(f"{self.reg(dst)} = _m[4][_q]")
             if self.timed:
                 self.issue_and([(pc_const, p)])
                 self.demand(pc, is_write=False)
@@ -548,10 +572,8 @@ class _Emitter:
         elif kind == _STORE:
             _, pc, vc, v, pc_const, p, cache = inst
             self.counts["stores"] += 1
-            self.env[f"_c{self.site}"] = [None, 0, -1, 1, None]
-            self.address((pc_const, p), self.site, "store")
+            self.store_functional((vc, v), (pc_const, p), self.site)
             self.site += 1
-            emit(f"_m[4][_q] = {self.operand(vc, v)}")
             if self.timed:
                 self.issue_and([(vc, v), (pc_const, p)])
                 self.demand(pc, is_write=True)
@@ -563,7 +585,7 @@ class _Emitter:
         elif kind == _PREFETCH:
             _, pc, pc_const, p = inst
             self.counts["prefetches"] += 1
-            emit(f"addr = {self.operand(pc_const, p)}")
+            self.prefetch_functional((pc_const, p))
             if self.timed:
                 self.issue_and([(pc_const, p)])
                 hot = self.hot
@@ -577,7 +599,7 @@ class _Emitter:
                     emit("if entry is not None and "
                          f"(lines := _l1s[{hot['set']}]).get(line)"
                          " is entry and "
-                         f"(page := addr >> {hot['pb']}) in _tp:")
+                         f"{hot['page']} in _tp:")
                     emit(f"    {self.stat('_mst.sw_prefetches', '_nsp')}")
                     self.hot_touch()
                     emit("    acc = issue")

@@ -36,6 +36,7 @@ from .fastexec import (_ALLOC, _BIN, _CALL, _CAST, _CMP, _GEP, _LOAD,
 from .memory import Allocation, Memory, MemoryFault
 from .system import MemorySystem
 from .tracejit import NO_BUDGET, TraceJIT, tracejit_enabled
+from .vectorsim import vector_enabled
 
 _M64 = (1 << 64) - 1
 
@@ -359,6 +360,12 @@ class Interpreter:
         Needs a machine model.  Sampling reads counters only at the
         reference yield boundaries, so cycles are bit-identical with
         sampling on or off under every execution tier.
+    :param vector: enable the vectorized batch tier on top of the
+        trace-JIT (``None`` = follow ``REPRO_SIM_VECTOR``, default
+        off).  Implies the trace-JIT machinery; single-block hot loops
+        with dependence-free address streams run as numpy-planned
+        batches, bit-identical to every other tier (see
+        :mod:`repro.machine.vectorsim`).
     """
 
     def __init__(self, module: Module, memory: Memory | None = None,
@@ -367,7 +374,8 @@ class Interpreter:
                  fastpath: bool | None = None,
                  telemetry: "TelemetryCollector | bool | None" = None,
                  tracejit: bool | None = None,
-                 timeline: "TimelineRecorder | bool | None" = None):
+                 timeline: "TimelineRecorder | bool | None" = None,
+                 vector: bool | None = None):
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self.machine = machine
@@ -386,12 +394,17 @@ class Interpreter:
         self._pc_base = 0
         self.stats = RunStats()
         self.max_steps: int | None = None
+        # The vector tier plans batches over compiled traces, so
+        # enabling it implies the trace-JIT machinery.
+        self.vector = (self.fastpath and machine is not None
+                       and vector_enabled(vector))
         self.tracejit = (self.fastpath and machine is not None
-                         and tracejit_enabled(tracejit))
+                         and (tracejit_enabled(tracejit) or self.vector))
         self._tj = TraceJIT(
             mode="inorder" if machine and machine.in_order else "ooo",
             bind={"memory": self.memory, "stats": self.stats,
-                  "core": self.core, "ms": self.memory_system}
+                  "core": self.core, "ms": self.memory_system},
+            vector=self.vector
         ) if self.tracejit else None
 
     def _compile(self, func: Function) -> _CompiledFunction:
@@ -530,7 +543,15 @@ class Interpreter:
                         if tr.fp == ms.fastpath:
                             budget = (yield_every - steps) \
                                 if yield_every else NO_BUDGET
-                            block, used = tr.fn(regs, ready, budget)
+                            vec = tr.vector
+                            out = (vec(regs, ready, budget)
+                                   if vec is not None else None)
+                            if out is None:
+                                # No vector driver, or a batch guard
+                                # deopted before any state changed:
+                                # the compiled trace replays the loop.
+                                out = tr.fn(regs, ready, budget)
+                            block, used = out
                             steps += used
                             if tr.entries >= 256 and \
                                     tr.iters < (tr.entries >> 1):

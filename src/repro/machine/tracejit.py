@@ -58,6 +58,7 @@ threshold (default 16 visits).
 from __future__ import annotations
 
 import os
+import warnings
 
 from ..remarks import emit as remark_emit
 from ..telemetry.spans import instant, span
@@ -84,20 +85,61 @@ def tracejit_enabled(explicit: bool | None = None) -> bool:
     return os.environ.get("REPRO_SIM_TRACEJIT", "0") == "1"
 
 
+#: Default hotness threshold (block visits before recording).
+DEFAULT_THRESHOLD = 16
+#: Bounds on the env-tunable threshold.  Below 2 a block would record
+#: on its first visit; above the max the tier would simply never fire.
+MIN_THRESHOLD = 2
+MAX_THRESHOLD = 1 << 20
+
+
+def _threshold_fallback(raw: str, used: int, reason: str) -> int:
+    """Report a bad ``REPRO_SIM_TRACEJIT_THRESHOLD`` and carry on.
+
+    Mirrors telemetry's ``_ring_fallback``: an invalid value must never
+    abort a run — it produces a Python warning plus (when remarks are
+    being collected) a ``TraceJitThresholdClamped`` warning remark, and
+    the clamped/default threshold is used.
+    """
+    warnings.warn(
+        f"REPRO_SIM_TRACEJIT_THRESHOLD={raw!r} is {reason}; "
+        f"using {used}", RuntimeWarning, stacklevel=3)
+    remark_emit("warning", "trace-jit", "TraceJitThresholdClamped",
+                value=raw, used=used, reason=reason)
+    return used
+
+
 def trace_threshold() -> int:
-    """Block-visit count that triggers recording (env-tunable)."""
+    """Block-visit count that triggers recording (env-tunable).
+
+    Invalid values fall back to :data:`DEFAULT_THRESHOLD` and
+    out-of-range ones clamp to :data:`MIN_THRESHOLD` /
+    :data:`MAX_THRESHOLD`, in both cases with a warning (and a remark
+    when collecting) instead of a crash.
+    """
+    raw = os.environ.get("REPRO_SIM_TRACEJIT_THRESHOLD")
+    if not raw:
+        return DEFAULT_THRESHOLD
     try:
-        n = int(os.environ.get("REPRO_SIM_TRACEJIT_THRESHOLD", "16"))
+        n = int(raw)
     except ValueError:
-        return 16
-    return max(2, n)
+        return _threshold_fallback(raw, DEFAULT_THRESHOLD,
+                                   "not an integer")
+    if n < MIN_THRESHOLD:
+        return _threshold_fallback(raw, MIN_THRESHOLD,
+                                   "below the minimum")
+    if n > MAX_THRESHOLD:
+        return _threshold_fallback(raw, MAX_THRESHOLD,
+                                   "above the maximum")
+    return n
 
 
 class Trace:
     """One compiled trace plus its execution statistics."""
 
     __slots__ = ("fn", "func", "header", "header_name", "fp", "blocks",
-                 "ops", "entries", "iters", "insts")
+                 "ops", "entries", "iters", "insts", "vector",
+                 "vbatches", "viters")
 
     def __init__(self, func: str, header: int, header_name: str,
                  blocks: int, ops: int):
@@ -111,13 +153,21 @@ class Trace:
         self.entries = 0
         self.iters = 0
         self.insts = 0
+        #: Vectorized batch driver (repro.machine.vectorsim), or None.
+        #: A runtime batch-guard failure clears it; the batch counters
+        #: below survive so reports stay honest after a deopt.
+        self.vector = None
+        self.vbatches = 0
+        self.viters = 0
 
     def report(self) -> dict:
         """Hot-report row (JSON-ready)."""
         return {"function": self.func, "header": self.header_name,
                 "blocks": self.blocks, "ops": self.ops,
                 "entries": self.entries, "iterations": self.iters,
-                "instructions": self.insts}
+                "instructions": self.insts,
+                "vector_batches": self.vbatches,
+                "vector_iterations": self.viters}
 
 
 class FunctionState:
@@ -140,22 +190,27 @@ class TraceJIT:
     :param mode: ``"inorder"`` or ``"ooo"`` (matches the fused tier).
     :param bind: the fuse bindings (``memory``/``stats``/``core``/``ms``).
     :param threshold: override the recording threshold (tests).
+    :param vector: additionally plan vectorized batch drivers for
+        single-block traces (:mod:`repro.machine.vectorsim`).
     """
 
     def __init__(self, mode: str, bind: dict,
-                 threshold: int | None = None):
+                 threshold: int | None = None, vector: bool = False):
         self.mode = mode
         self.bind = bind
         self.threshold = (trace_threshold() if threshold is None
                           else max(2, threshold))
         self.max_blocks = _MAX_BLOCKS
         self.max_ops = _MAX_OPS
+        self.vector = vector
         self._states: dict[str, FunctionState] = {}
         #: every trace ever compiled (for the hot report).
         self.traces: list[Trace] = []
         self.compiles = 0
         self.deopts = 0
         self.aborts = 0
+        self.vector_compiles = 0
+        self.vector_deopts = 0
 
     def state_for(self, compiled) -> FunctionState:
         """The (lazily created) trace state for one compiled function."""
@@ -203,6 +258,15 @@ class TraceJIT:
             nops += len(insts)
         if nops > self.max_ops:
             return self.abort(state, header, "too-many-ops")
+        if self.vector:
+            # An outer trace would run a nested inner loop inside its
+            # own while, bypassing dispatch — and with it any vector
+            # driver already compiled for the inner header.  Keep the
+            # dispatcher in charge of vector-planned inner loops.
+            for bi in selfloops:
+                inner = state.traces.get(bi)
+                if inner is not None and inner.vector is not None:
+                    return self.abort(state, header, "vector-inner-loop")
         with span("tracejit", "compile", function=compiled.function.name,
                  blocks=len(path), ops=nops):
             trace = self._compile(compiled, path, nops, selfloops)
@@ -215,6 +279,9 @@ class TraceJIT:
                     mode=self.mode, fastpath=trace.fp)
         instant("tracejit", "TraceCompiled", function=trace.func,
                 header=trace.header_name, blocks=len(path), ops=nops)
+        if self.vector and len(path) == 1 and not selfloops:
+            from .vectorsim import plan_vector
+            plan_vector(compiled, trace, self)
         return trace
 
     def abort(self, state: FunctionState, header: int, reason: str

@@ -1,0 +1,1021 @@
+"""Vectorized batch execution tier: numpy address streams over traces.
+
+The fourth execution tier, above the trace-JIT.  When the trace-JIT
+compiles a *single-block* hot loop whose memory operations form a
+dependence-free stream — the ``array[func(ids[i])]`` shape the paper's
+prefetching pass targets — this module plans a **batch driver** for the
+trace: the full per-iteration value and address vectors are
+materialized with numpy up front, the batched cache/TLB model
+(:meth:`MemorySystem.lines_of`, :meth:`TLB.pages_of`,
+:meth:`Cache.sets_of`) precomputes every access's line, set and page
+index array-wise, and one generated timing loop replays the
+issue/retire and hot-line arithmetic of the fused tier over the
+precomputed streams — no interpreter dispatch, no per-iteration address
+arithmetic, no Python attribute walks.
+
+Equivalence contract
+--------------------
+
+The tier is bit-identical to the reference engine on every counter
+(cycles, per-level hits/misses, TLB, prefetch outcomes):
+
+* **functional** effects are computed with numpy int64/float64
+  arithmetic whose wrap-around (two's complement mod 2^64) matches the
+  interpreter's ``wrap64`` exactly; the only *unwrapped* operation in
+  the reference engine is GEP, which is guarded to ``|value| <= 2^61``
+  so the int64 computation cannot wrap (a guard failure deopts);
+* **iteration counts** come from evaluating the exit condition's
+  dependence cone over the batch and trimming the batch to the first
+  exit, so no speculative memory access past the exit ever happens;
+* **timing** is emitted by the same :class:`~repro.machine.fastexec.
+  _Emitter` transcription the fused and trace tiers use (functional
+  emission suppressed), driven sequentially over the precomputed
+  per-access line/set/page streams — LRU touches, hit counters, miss
+  walks and prefetch classification happen in exactly the reference
+  order;
+* **read-modify-write** streams (histogram updates) and their
+  dependent values are replayed by a scalar commit loop in program
+  order, so intra-batch store→load forwarding is exact;
+* batch boundaries land exactly on the trace tier's yield-budget
+  boundaries, so timeline windows and multicore schedules are
+  unchanged.
+
+Deoptimization discipline (same as the trace-JIT): *plan-time*
+rejections (multi-block loops, pointer-chasing address streams,
+loop-carried memory dependences feeding the exit condition, unsupported
+ops) leave the trace running on the trace-JIT tier and emit a
+``VectorDeopt`` remark with ``stage="plan"``; *run-time* guard failures
+(allocation range, alias between a gathered and a stored allocation,
+GEP overflow, invariant operands outside int64) happen **before any
+architectural state is mutated**, return ``None`` so the interpreter
+re-runs the batch on the compiled trace, clear ``trace.vector`` and
+emit ``VectorDeopt`` with ``stage="run"``.  A third, post-commit kind
+(reason ``short-batches``) retires plans whose batches stay too short
+to amortize the numpy dispatch cost — see :data:`PROBE_BATCHES`.
+
+Gated by ``REPRO_SIM_VECTOR`` (default off); enabling it implies the
+trace-JIT machinery.  Known non-candidates: pointer-chasing loops
+(HJ-8, Graph500 — the next address depends on the previous load) and
+multi-block loop bodies (HJ-2) stay on the trace tier, by design.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+
+import numpy as _np
+
+from ..remarks import emit as remark_emit
+from ..telemetry.spans import instant, span
+from .fastexec import (_BIN, _CAST, _CMP, _GEP, _LOAD, _PREFETCH,
+                       _SELECT, _STORE, _Emitter, compile_source)
+from .memory import MemoryFault
+
+#: Iterations per batch; larger batches amortize numpy dispatch,
+#: smaller ones bound the planning horizon (and dead-lane work past a
+#: loop exit).  Budget boundaries always trim the batch first.
+MAX_BATCH = 4096
+
+#: Magnitude bound on GEP operands: results stay below 2^62, so int64
+#: arithmetic cannot wrap where the reference engine computes exactly.
+GMAX = 1 << 61
+
+#: Adaptive short-batch bail-out: a loop that keeps re-entering with
+#: only a handful of iterations per batch (an inner loop over short
+#: rows, say) pays the driver's fixed numpy dispatch cost without
+#: amortizing it and runs *slower* than the scalar trace.  After
+#: ``PROBE_BATCHES`` committed batches, a trace averaging fewer than
+#: ``MIN_AVG_ITERS`` iterations per batch drops its vector plan
+#: (``VectorDeopt``, reason ``short-batches``) and the scalar trace
+#: keeps the loop.  Checked after the commit point, so nothing needs
+#: undoing and every tier stays bit-identical.
+PROBE_BATCHES = 8
+MIN_AVG_ITERS = 32
+
+_M64 = (1 << 64) - 1
+
+#: 2^63 as a float, for the fptosi range guard.
+_I64_EDGE = 9.223372036854775808e18
+
+#: Commutative reductions: opcode -> numpy ufunc name.
+_RED_OPS = {"add": "add", "fadd": "add", "mul": "multiply",
+            "fmul": "multiply", "and": "bitwise_and",
+            "or": "bitwise_or", "xor": "bitwise_xor"}
+#: Left-only reductions (phi must be the first operand).
+_RED_LEFT = {"sub": "subtract", "fsub": "subtract"}
+
+_CMP_OPS = {"eq": "==", "oeq": "==", "ne": "!=", "one": "!=",
+            "slt": "<", "olt": "<", "sle": "<=", "ole": "<=",
+            "sgt": ">", "ogt": ">", "sge": ">=", "oge": ">="}
+_UCMP_OPS = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
+
+#: int64 binops emitted as direct numpy expressions (wrap-identical).
+_VEC_I64 = {"add": "({a} + {b})", "sub": "({a} - {b})",
+            "mul": "({a} * {b})", "and": "({a} & {b})",
+            "or": "({a} | {b})", "xor": "({a} ^ {b})",
+            "shl": "({a} << ({b} & 63))",
+            "ashr": "({a} >> ({b} & 63))",
+            "lshr": "_lshr({a}, {b})"}
+_VEC_FLOAT = {"fadd": "({a} + {b})", "fsub": "({a} - {b})",
+              "fmul": "({a} * {b})"}
+
+
+def vector_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the vector-tier gate: explicit setting, else the
+    ``REPRO_SIM_VECTOR`` environment variable (default off)."""
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get("REPRO_SIM_VECTOR", "0") == "1"
+
+
+# -- runtime helpers bound into generated drivers -----------------------
+
+def _full(value, n):
+    """Length-``n`` array of one runtime value, typed like the
+    interpreter (int64/float64); OverflowError when an int does not
+    fit, which the driver turns into a deopt."""
+    out = _np.empty(
+        n, dtype=_np.float64 if isinstance(value, float) else _np.int64)
+    out[...] = value
+    return out
+
+
+def _inv(value):
+    """1-element array for a loop-invariant operand (broadcasts, and
+    forces numpy arithmetic so wrap-around applies)."""
+    return _np.asarray(
+        [value],
+        dtype=_np.float64 if isinstance(value, float) else _np.int64)
+
+
+def _vb(x, n):
+    """Broadcast a scalar/1-element/0-d operand to length ``n``."""
+    x = _np.asarray(x)
+    if x.ndim == 0 or x.shape[0] != n:
+        return _np.broadcast_to(x, (n,))
+    return x
+
+
+def _lshr(a, b):
+    """Logical shift right, wrap-identical to the interpreter's
+    ``(a & M64) >> (b & 63)`` on Python ints."""
+    sh = _np.asarray(b) & 63
+    return (_np.asarray(a).astype(_np.uint64)
+            >> sh.astype(_np.uint64)).astype(_np.int64)
+
+
+def _u(x):
+    """Unsigned view for unsigned comparisons."""
+    if isinstance(x, _np.ndarray):
+        return x.astype(_np.uint64)
+    return x & _M64
+
+
+def _rng(x, m):
+    """True when any element's magnitude exceeds ``m`` (guards)."""
+    if isinstance(x, _np.ndarray):
+        return bool((x > m).any() or (x < -m).any())
+    return x > m or x < -m
+
+
+def _nz(x):
+    """True when any element is zero (fdiv guard)."""
+    return bool(_np.any(_np.asarray(x) == 0.0))
+
+
+def _fpbad(x):
+    """True when a float vector has values fptosi cannot convert the
+    way Python's ``int()`` would (NaN/inf/beyond int64)."""
+    x = _np.asarray(x)
+    return not bool(_np.all(_np.isfinite(x) & (_np.abs(x) < _I64_EDGE)))
+
+
+def _gather(data, idx):
+    """Gather ``[data[i] for i in idx]`` (itemgetter beats a Python
+    loop; the 1-element case returns a scalar, so wrap it)."""
+    if len(idx) == 1:
+        return [data[idx[0]]]
+    return operator.itemgetter(*idx)(data)
+
+
+class _Reject(Exception):
+    """Plan-time rejection; ``reason`` feeds the VectorDeopt remark."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _TimingEmitter(_Emitter):
+    """The fused-tier emitter with functional effects suppressed.
+
+    Timing arithmetic (issue/retire, hot-line probe, miss-walk
+    fallbacks, stat batching) is inherited unchanged; the memory hooks
+    are redirected at the precomputed per-iteration streams: ``_a{j}``
+    (address), ``_e{j}`` (line), ``_y{j}`` (L1 set), ``_g{j}`` (page)
+    are the loop variables the batch driver zips in.
+    """
+
+    def __init__(self, mode: str, bind: dict, env: dict):
+        super().__init__(mode, bind, env, locals_tier=True)
+        self.functional = False
+        self.mem_idx = 0
+
+    def _site_stream(self) -> None:
+        j = self.mem_idx
+        self.mem_idx += 1
+        self.out(f"addr = _a{j}")
+        if self.hot is not None:
+            self.hot["line"] = f"_e{j}"
+            self.hot["set"] = f"_y{j}"
+            self.hot["page"] = f"(page := _g{j})"
+
+    def load_functional(self, dst, ptr_spec, site) -> None:
+        self._site_stream()
+
+    def store_functional(self, val_spec, ptr_spec, site) -> None:
+        self._site_stream()
+
+    def prefetch_functional(self, ptr_spec) -> None:
+        self._site_stream()
+
+
+def plan_vector(compiled, trace, tj) -> None:
+    """Plan a batch driver for a freshly compiled single-block trace.
+
+    On success ``trace.vector`` holds the driver (``fn(regs, ready,
+    budget) -> (block, used) | None``); on rejection the trace keeps
+    running on the trace-JIT tier and a plan-stage ``VectorDeopt``
+    remark records why.
+    """
+    try:
+        with span("vectorsim", "compile", function=trace.func,
+                  header=trace.header_name, ops=trace.ops):
+            fn, info = _Planner(compiled, trace, tj).build()
+    except _Reject as rej:
+        tj.vector_deopts += 1
+        remark_emit("analysis", "vectorsim", "VectorDeopt",
+                    function=trace.func, header=trace.header_name,
+                    reason=rej.reason, stage="plan")
+        instant("vectorsim", "VectorDeopt", function=trace.func,
+                header=trace.header_name, reason=rej.reason,
+                stage="plan")
+        return
+    trace.vector = fn
+    tj.vector_compiles += 1
+    remark_emit("analysis", "vectorsim", "VectorBatchCompiled",
+                function=trace.func, header=trace.header_name, **info)
+    instant("vectorsim", "VectorBatchCompiled", function=trace.func,
+            header=trace.header_name, **info)
+
+
+def _make_deopt(trace, tj):
+    """The runtime deopt closure: clears the driver (the batch
+    counters survive for reports), emits the remark, returns ``None``
+    so the interpreter re-runs the batch on the compiled trace.  Only
+    reachable before the commit point, so no state needs undoing."""
+
+    def _deopt(reason):
+        trace.vector = None
+        tj.vector_deopts += 1
+        remark_emit("analysis", "vectorsim", "VectorDeopt",
+                    function=trace.func, header=trace.header_name,
+                    reason=reason, stage="run",
+                    batches=trace.vbatches, iterations=trace.viters)
+        instant("vectorsim", "VectorDeopt", function=trace.func,
+                header=trace.header_name, reason=reason, stage="run")
+        return None
+
+    return _deopt
+
+
+def _make_short_deopt(trace, tj):
+    """The post-commit bail-out for persistently short batches: clears
+    the driver and emits the remark, but (unlike :func:`_make_deopt`)
+    the committed batch stands — the scalar trace takes over from the
+    *next* loop entry."""
+
+    def _short():
+        trace.vector = None
+        tj.vector_deopts += 1
+        remark_emit("analysis", "vectorsim", "VectorDeopt",
+                    function=trace.func, header=trace.header_name,
+                    reason="short-batches", stage="run",
+                    batches=trace.vbatches, iterations=trace.viters)
+        instant("vectorsim", "VectorDeopt", function=trace.func,
+                header=trace.header_name, reason="short-batches",
+                stage="run")
+
+    return _short
+
+
+class _Planner:
+    """One vectorization attempt over one single-block trace."""
+
+    def __init__(self, compiled, trace, tj):
+        self.compiled = compiled
+        self.trace = trace
+        self.tj = tj
+        self.bind = tj.bind
+        self.ms = tj.bind["ms"]
+        insts, term, charge = compiled.raw_blocks[trace.header]
+        self.insts = insts
+        self.term = term
+        self.charge = charge
+        #: dst slot -> instruction (loads included).
+        self.defs: dict[int, tuple] = {}
+        self.chain: set[int] = set()
+        self.phi_class: dict[int, tuple] = {}
+        self.red_at_def: dict[int, int] = {}
+        #: slots with an emitted vector variable ``v{slot}``.
+        self.vec: set[int] = set()
+        #: vector slots emitted post-trim (length ``_B``).
+        self.post_slots: set[int] = set()
+        self.const_val: dict[int, object] = {}
+        self.invariants: set[int] = set()
+        self.inv_raw: set[int] = set()
+        self.pre: list[str] = []
+        self.post: list[str] = []
+        self.pre_names: list[str] = []
+        #: memory sites in block order:
+        #: (j, kind, inst, ptr_spec, dst_or_None, rmw)
+        self.sites: list[tuple] = []
+        self.env: dict = {}
+
+    # -- operand resolution --------------------------------------------
+
+    @staticmethod
+    def _operands(inst) -> list[tuple]:
+        kind = inst[0]
+        if kind == _BIN or kind == _CMP:
+            return [(inst[3], inst[4]), (inst[5], inst[6])]
+        if kind == _SELECT:
+            return [(inst[2], inst[3]), (inst[4], inst[5]),
+                    (inst[6], inst[7])]
+        if kind == _CAST:
+            return [(inst[3], inst[4])]
+        if kind == _GEP:
+            return [(inst[3], inst[4]), (inst[5], inst[6])]
+        if kind == _LOAD:
+            return [(inst[3], inst[4])]
+        if kind == _STORE:
+            return [(inst[2], inst[3]), (inst[4], inst[5])]
+        if kind == _PREFETCH:
+            return [(inst[2], inst[3])]
+        raise _Reject("unfusable")
+
+    def _cval(self, c, v):
+        """Plan-time constant value of an operand, or ``None``."""
+        if c:
+            return v
+        if v in self.const_val:
+            return self.const_val[v]
+        return None
+
+    def vsrc(self, c, v) -> tuple[str, bool]:
+        """Vector source text for an operand + is-post-trim flag."""
+        if c or v in self.const_val:
+            cv = self._cval(c, v)
+            if isinstance(cv, int) and not (
+                    -(1 << 63) <= cv < (1 << 63)):
+                # An out-of-int64 literal would silently build an
+                # object-dtype array (no wrap-around) — bail out.
+                raise _Reject("const-range")
+            return repr(cv), False
+        if v in self.chain:
+            raise _Reject("value-depends-on-memory")
+        if v in self.vec:
+            return f"v{v}", v in self.post_slots
+        if v in self.phi_class or v in self.defs:
+            # A reduction phi read before its defining op, or a
+            # forward reference: no vector exists yet.
+            raise _Reject("recurrence-cycle")
+        self.invariants.add(v)
+        return f"_x{v}", False
+
+    def ssrc(self, c, v, zips: dict) -> str:
+        """Scalar source text for the commit loop.  Vector operands
+        register a ``.tolist()`` zip stream."""
+        if c or v in self.const_val:
+            return repr(self._cval(c, v))
+        if v in self.chain:
+            return f"_s{v}"
+        if v in self.vec:
+            # _vb: a def computed purely from invariants is a
+            # 1-element array and would silently truncate the zip.
+            zips.setdefault(f"_w{v}", f"_vb(v{v}, _B).tolist()")
+            return f"_w{v}"
+        self.inv_raw.add(v)
+        return f"_iv{v}"
+
+    # -- plan phases ----------------------------------------------------
+
+    def _parse_terminator(self):
+        term = self.term
+        header = self.trace.header
+        if term[0] != "br":
+            raise _Reject("loop-shape")
+        _, cc, c, tgt, tmoves, e, emoves = term
+        if tgt == header and e != header:
+            self.self_moves, self.exit_moves = tmoves, emoves
+            self.exit_block, self.exit_cmp = e, "=="
+        elif e == header and tgt != header:
+            self.self_moves, self.exit_moves = emoves, tmoves
+            self.exit_block, self.exit_cmp = tgt, "!="
+        else:
+            raise _Reject("loop-shape")
+        self.cc, self.cond = cc, c
+        self.const_no_exit = False
+        if cc:
+            exits = (c == 0) if self.exit_cmp == "==" else (c != 0)
+            if exits:
+                # Exits after one iteration: not a loop worth batching.
+                raise _Reject("loop-shape")
+            self.const_no_exit = True
+
+    def _scan(self):
+        phi_slots = {dst for dst, _c, _v in self.self_moves}
+        for inst in self.insts:
+            kind = inst[0]
+            if kind in (_STORE, _PREFETCH):
+                continue
+            dst = inst[1]
+            if dst in self.defs or dst in phi_slots:
+                raise _Reject("redef")
+            self.defs[dst] = inst
+        self.phi_slots = phi_slots
+
+    def _pair_memory(self):
+        store_specs = set()
+        for inst in self.insts:
+            if inst[0] == _STORE:
+                store_specs.add((inst[4], inst[5]))
+        j = 0
+        rmw = set()
+        self.site_at: dict[int, int] = {}
+        for idx, inst in enumerate(self.insts):
+            kind = inst[0]
+            if kind == _LOAD:
+                spec = (inst[3], inst[4])
+                is_rmw = spec in store_specs
+                if is_rmw:
+                    rmw.add(inst[1])
+                self.sites.append((j, kind, idx, spec, inst[1], is_rmw))
+            elif kind == _STORE:
+                self.sites.append(
+                    (j, kind, idx, (inst[4], inst[5]), None, False))
+            elif kind == _PREFETCH:
+                self.sites.append(
+                    (j, kind, idx, (inst[2], inst[3]), None, False))
+            else:
+                continue
+            self.site_at[idx] = j
+            j += 1
+        self.rmw = rmw
+        # Chain: everything data-dependent on an RMW load's value must
+        # replay scalar, in program order, inside the commit loop.
+        chain = set(rmw)
+        for inst in self.insts:
+            kind = inst[0]
+            if kind in (_STORE, _PREFETCH, _LOAD):
+                continue
+            if any((not c) and v in chain
+                   for c, v in self._operands(inst)):
+                chain.add(inst[1])
+        self.chain = chain
+        # Addresses must never depend on the chain — that is a
+        # loop-carried memory dependence the batch cannot reorder.
+        for _j, _kind, _idx, spec, _dst, _is_rmw in self.sites:
+            pc_const, p = spec
+            if not pc_const and p in chain:
+                raise _Reject("value-dependent-address")
+        if not self.cc and self.cond in chain:
+            raise _Reject("exit-depends-on-memory")
+
+    def _classify_phis(self):
+        for dst, c, v in self.self_moves:
+            if c:
+                self.phi_class[dst] = ("const", v)
+            elif v == dst:
+                self.phi_class[dst] = ("self",)
+            elif v in self.phi_slots:
+                raise _Reject("recurrence")
+            elif v in self.defs:
+                inst = self.defs[v]
+                if inst[0] == _LOAD or v in self.chain:
+                    raise _Reject("recurrence")
+                cls = self._recurrence(dst, v, inst)
+                if cls is None:
+                    raise _Reject("recurrence")
+                self.phi_class[dst] = cls
+            else:
+                self.phi_class[dst] = ("inv", v)
+
+    def _recurrence(self, p: int, d: int, inst) -> tuple | None:
+        if inst[0] != _BIN:
+            return None
+        _, _dst, _fn, ac, a, bc, b, opcode, bits = inst
+        is_float = opcode in ("fadd", "fsub", "fmul")
+        if not is_float and bits != 64:
+            return None
+        # Induction: integer add/sub of a loop-invariant step.
+        if opcode in ("add", "sub"):
+            step = None
+            if not ac and a == p and not (not bc and b == p):
+                step = (bc, b)
+            elif opcode == "add" and not bc and b == p and \
+                    not (not ac and a == p):
+                step = (ac, a)
+            if step is not None:
+                sc, sv = step
+                if sc or (sv not in self.defs
+                          and sv not in self.phi_slots):
+                    return ("ind", d, opcode, step)
+        # Reduction: a left fold of a phi-free stream, replayed with
+        # ufunc.accumulate (sequential by definition, so bit-exact for
+        # floats; int64 wrap-around matches wrap64).
+        x = None
+        ufunc = None
+        if opcode in _RED_OPS:
+            if not ac and a == p and not (not bc and b == p):
+                x, ufunc = (bc, b), _RED_OPS[opcode]
+            elif not bc and b == p and not (not ac and a == p):
+                x, ufunc = (ac, a), _RED_OPS[opcode]
+        elif opcode in _RED_LEFT:
+            if not ac and a == p and not (not bc and b == p):
+                x, ufunc = (bc, b), _RED_LEFT[opcode]
+        if x is not None:
+            self.red_at_def[d] = p
+            return ("red", d, ufunc, x)
+        return None
+
+    # -- emission -------------------------------------------------------
+
+    def _emit_phi_vectors(self):
+        for p, cls in self.phi_class.items():
+            kind = cls[0]
+            if kind == "const":
+                cv = cls[1]
+                if isinstance(cv, int) and not (
+                        -(1 << 63) <= cv < (1 << 63)):
+                    raise _Reject("const-range")
+                self.pre.append(f"v{p} = _full({cv!r}, _B0)")
+                self.pre.append(f"v{p}[0] = regs[{p}]")
+            elif kind == "self":
+                self.pre.append(f"v{p} = _full(regs[{p}], _B0)")
+            elif kind == "inv":
+                self.pre.append(f"v{p} = _full(regs[{cls[1]}], _B0)")
+                self.pre.append(f"v{p}[0] = regs[{p}]")
+            elif kind == "ind":
+                _, d, opcode, step = cls
+                s, _post = self.vsrc(*step)
+                op = "+" if opcode == "add" else "-"
+                self.pre.append(
+                    f"v{p} = _inv(regs[{p}]) {op} {s} * _k")
+                self.pre.append(f"v{d} = v{p} {op} {s}")
+                self.vec.add(d)
+                self.pre_names.append(f"v{d}")
+            else:  # reduction: emitted at its defining op's position.
+                continue
+            self.vec.add(p)
+            self.pre_names.append(f"v{p}")
+
+    def _emit_reduction(self, d: int):
+        p = self.red_at_def[d]
+        _cls, _d, ufunc, x = self.phi_class[p]
+        x_src, x_post = self.vsrc(*x)
+        out = self.post if x_post else self.pre
+        nvar = "_B" if x_post else "_B0"
+        out.append(f"_t{p} = _np.concatenate("
+                   f"(_inv(regs[{p}]), _vb({x_src}, {nvar})))")
+        out.append(f"_ac{p} = _np.{ufunc}.accumulate(_t{p})")
+        out.append(f"v{d} = _ac{p}[1:]")
+        out.append(f"v{p} = _ac{p}[:-1]")
+        self.vec.update((d, p))
+        if x_post:
+            self.post_slots.update((d, p))
+        else:
+            self.pre_names.extend((f"v{d}", f"v{p}"))
+
+    def _emit_def(self, inst):
+        kind = inst[0]
+        dst = inst[1]
+        ops = self._operands(inst)
+        if all(c or v in self.const_val for c, v in ops):
+            # All-constant: fold through the instruction's own
+            # compiled function, exact by construction.
+            self.const_val[dst] = self._fold(inst)
+            return
+        srcs = [self.vsrc(c, v) for c, v in ops]
+        is_post = any(post for _t, post in srcs)
+        out = self.post if is_post else self.pre
+        texts = [t for t, _post in srcs]
+        guard = None
+        if kind == _BIN:
+            opcode = inst[7]
+            bits = inst[8]
+            a, b = texts
+            if opcode in _VEC_FLOAT:
+                expr = _VEC_FLOAT[opcode].format(a=a, b=b)
+            elif opcode == "fdiv":
+                guard = f"if _nz({b}): return _deopt('fdiv-zero')"
+                expr = f"({a} / {b})"
+            elif bits == 64 and opcode in _VEC_I64:
+                expr = _VEC_I64[opcode].format(a=a, b=b)
+            else:
+                raise _Reject("unsupported-op")
+        elif kind == _CMP:
+            pred = inst[7]
+            a, b = texts
+            if pred in _CMP_OPS:
+                expr = (f"({a} {_CMP_OPS[pred]} {b})"
+                        f".astype(_np.int64)")
+            elif pred in _UCMP_OPS:
+                expr = (f"(_u({a}) {_UCMP_OPS[pred]} _u({b}))"
+                        f".astype(_np.int64)")
+            else:
+                raise _Reject("unsupported-op")
+        elif kind == _SELECT:
+            c, t, f = texts
+            expr = f"_np.where(({c}) != 0, {t}, {f})"
+        elif kind == _CAST:
+            opcode, fb, tb = inst[5], inst[6], inst[7]
+            v = texts[0]
+            if opcode in ("bitcast", "ptrtoint", "inttoptr", "sext"):
+                expr = v
+            elif opcode == "zext" and fb < 64:
+                expr = f"({v} & {(1 << fb) - 1})"
+            elif opcode == "trunc" and tb == 64:
+                expr = v
+            elif opcode == "sitofp":
+                expr = f"({v}).astype(_np.float64)"
+            elif opcode == "fptosi" and tb == 64:
+                guard = f"if _fpbad({v}): return _deopt('fp-range')"
+                expr = f"({v}).astype(_np.int64)"
+            else:
+                raise _Reject("unsupported-op")
+        elif kind == _GEP:
+            elem = inst[2]
+            if elem <= 0:
+                raise _Reject("unsupported-op")
+            b, i = texts
+            checks = []
+            if self._cval(*self._operands(inst)[0]) is None:
+                checks.append(f"_rng({b}, {GMAX})")
+            elif abs(self._cval(*self._operands(inst)[0])) > GMAX:
+                raise _Reject("gep-range")
+            if self._cval(*self._operands(inst)[1]) is None:
+                checks.append(f"_rng({i}, {GMAX // elem})")
+            elif abs(self._cval(*self._operands(inst)[1])) > GMAX // elem:
+                raise _Reject("gep-range")
+            if checks:
+                guard = (f"if {' or '.join(checks)}: "
+                         f"return _deopt('gep-range')")
+            expr = f"({b} + {i} * {elem})"
+        else:
+            raise _Reject("unsupported-op")
+        if guard:
+            out.append(guard)
+        out.append(f"v{dst} = {expr}")
+        self.vec.add(dst)
+        if is_post:
+            self.post_slots.add(dst)
+        else:
+            self.pre_names.append(f"v{dst}")
+
+    def _fold(self, inst):
+        """Constant-fold an all-constant op through the interpreter's
+        own compiled function, so the value is exact by construction."""
+        kind = inst[0]
+        ops = [self._cval(c, v) for c, v in self._operands(inst)]
+        if kind in (_BIN, _CMP):
+            return inst[2](ops[0], ops[1])
+        if kind == _CAST:
+            return inst[2](ops[0])
+        if kind == _SELECT:
+            return ops[1] if ops[0] else ops[2]
+        if kind == _GEP:
+            return ops[0] + ops[1] * inst[2]
+        return None
+
+    def _emit_site(self, j: int, kind: int, spec, dst, is_rmw):
+        p_src, _post = self.vsrc(*spec)
+        out = self.post
+        out.append(f"_p{j} = _vb({p_src}, _B)")
+        if kind == _PREFETCH:
+            # Prefetches never touch memory: the cache model only
+            # needs the (exact, int64) line/page streams.
+            return
+        out.append(f"if _rng(_p{j}, {GMAX}): "
+                   f"return _deopt('addr-range')")
+        out.append(f"_al{j} = _alloc_at(int(_p{j}[0]))")
+        out.append(f"_b{j} = _al{j}.base")
+        out.append(f"if int(_p{j}.min()) < _b{j} or "
+                   f"int(_p{j}.max()) >= _al{j}.end:")
+        out.append(f"    return _deopt('alloc-range')")
+        out.append(f"_o{j} = _p{j} - _b{j}")
+        out.append(f"_es{j} = _al{j}.element_size")
+        out.append(f"_q{j} = _o{j} // _es{j}")
+        out.append(f"if _np.any(_o{j} != _q{j} * _es{j}): "
+                   f"return _deopt('misaligned')")
+        out.append(f"_ql{j} = _q{j}.tolist()")
+        out.append(f"_d{j} = _al{j}.data")
+        if kind == _LOAD and not is_rmw:
+            out.append(
+                f"v{dst} = _np.asarray(_gather(_d{j}, _ql{j}), "
+                f"dtype=_np.float64 if isinstance(_d{j}[0], float) "
+                f"else _np.int64)")
+            self.vec.add(dst)
+            self.post_slots.add(dst)
+
+    def _emit_alias_guards(self):
+        store_js = [j for j, kind, *_rest in self.sites
+                    if kind == _STORE]
+        gather_js = [j for j, kind, _idx, _spec, _dst, is_rmw
+                     in self.sites if kind == _LOAD and not is_rmw]
+        for i in gather_js:
+            for j in store_js:
+                self.post.append(f"if _al{i} is _al{j}: "
+                                 f"return _deopt('alias')")
+
+    def _emit_streams(self) -> list[str]:
+        """Per-site line/set/page stream lists for the timing loop;
+        returns the zip argument list in site order."""
+        hot = self.ms.fastpath
+        zips = []
+        for j, _kind, *_rest in self.sites:
+            self.post.append(f"_pl{j} = _p{j}.tolist()")
+            zips.append(f"_pl{j}")
+            if hot:
+                self.post.append(f"_ln{j} = _lines_of(_p{j})")
+                self.post.append(f"_el{j} = _ln{j}.tolist()")
+                self.post.append(f"_yl{j} = _sets_of(_ln{j}).tolist()")
+                self.post.append(f"_gl{j} = _pages_of(_p{j}).tolist()")
+                zips.extend((f"_el{j}", f"_yl{j}", f"_gl{j}"))
+        return zips
+
+    def _commit_lines(self) -> tuple[list[str], dict]:
+        zips: dict[str, str] = {}
+        lines: list[str] = []
+        for idx, inst in enumerate(self.insts):
+            kind = inst[0]
+            if kind == _LOAD and inst[1] in self.rmw:
+                j = self.site_at[idx]
+                zips.setdefault(f"_qv{j}", f"_ql{j}")
+                lines.append(f"_s{inst[1]} = _d{j}[_qv{j}]")
+            elif kind == _STORE:
+                j = self.site_at[idx]
+                val = self.ssrc(inst[2], inst[3], zips)
+                zips.setdefault(f"_qv{j}", f"_ql{j}")
+                lines.append(f"_d{j}[_qv{j}] = {val}")
+            elif kind in (_BIN, _CMP, _SELECT, _CAST, _GEP) and \
+                    inst[1] in self.chain:
+                dst = inst[1]
+                ops = [self.ssrc(c, v, zips)
+                       for c, v in self._operands(inst)]
+                if kind in (_BIN, _CMP):
+                    self.env[f"_fn{dst}"] = inst[2]
+                    lines.append(
+                        f"_s{dst} = _fn{dst}({ops[0]}, {ops[1]})")
+                elif kind == _CAST:
+                    self.env[f"_fn{dst}"] = inst[2]
+                    lines.append(f"_s{dst} = _fn{dst}({ops[0]})")
+                elif kind == _SELECT:
+                    lines.append(f"_s{dst} = ({ops[1]}) if ({ops[0]}) "
+                                 f"else ({ops[2]})")
+                else:  # GEP: exact, unwrapped — like the reference.
+                    lines.append(
+                        f"_s{dst} = {ops[0]} + {ops[1]} * {inst[2]}")
+        return lines, zips
+
+    def _reg_moves(self, moves) -> list[str]:
+        lines = []
+        for k, (_dst, c, v) in enumerate(moves):
+            lines.append(f"_m{k} = {repr(v) if c else f'regs[{v}]'}")
+        for k, (dst, _c, _v) in enumerate(moves):
+            lines.append(f"regs[{dst}] = _m{k}")
+        return lines or ["pass"]
+
+    # -- the timing function --------------------------------------------
+
+    def _time_moves(self, em: _TimingEmitter, moves) -> list[str]:
+        em.body = []
+        for k, (_dst, c, v) in enumerate(moves):
+            em.out(f"_q{k} = {'0.0' if c else em.rdy(v)}")
+        for k, (dst, _c, _v) in enumerate(moves):
+            em.out(f"{em.rdy(dst)} = _q{k}")
+        return em.body or ["pass"]
+
+    def _build_vtime(self) -> list[str]:
+        em = _TimingEmitter(self.tj.mode, self.bind, self.env)
+        for inst in self.insts:
+            em.op(inst)
+        em.branch(None if self.cc else em.rdy(self.cond))
+        inner = em.body
+        self_tm = self._time_moves(em, self.self_moves)
+        exit_tm = self._time_moves(em, self.exit_moves)
+        em.body = []
+        em.core_prologue()
+        core_pro = em.body
+        em.body = []
+        em.core_epilogue()
+        core_epi = em.body
+
+        hot = self.ms.fastpath
+        unpack = []
+        for j, _kind, *_rest in self.sites:
+            unpack.append(f"_a{j}")
+            if hot:
+                unpack.extend((f"_e{j}", f"_y{j}", f"_g{j}"))
+        lines = ["def _vtime(ready, _B, _exit, _z):"]
+        ind = "    "
+        for s in sorted(em.slots):
+            lines.append(f"{ind}t{s} = ready[{s}]")
+        lines.extend(f"{ind}{line}" for line in core_pro)
+        stat_locals = sorted(em.stat_locals)
+        for local, _target in stat_locals:
+            lines.append(f"{ind}{local} = 0")
+        lines.append(f"{ind}_Bm1 = _B - 1")
+        lines.append(f"{ind}_i = 0")
+        if unpack:
+            head = ", ".join(unpack) + ("," if len(unpack) == 1 else "")
+            lines.append(f"{ind}for {head} in _z:")
+        else:
+            lines.append(f"{ind}for _i0 in range(_B):")
+        for line in inner:
+            lines.append(f"{ind}    {line}")
+        lines.append(f"{ind}    if _i == _Bm1: break")
+        for line in self_tm:
+            lines.append(f"{ind}    {line}")
+        lines.append(f"{ind}    _i += 1")
+        lines.append(f"{ind}if _exit:")
+        for line in exit_tm:
+            lines.append(f"{ind}    {line}")
+        lines.append(f"{ind}else:")
+        for line in self_tm:
+            lines.append(f"{ind}    {line}")
+        for s in sorted(em.slots):
+            lines.append(f"{ind}ready[{s}] = t{s}")
+        lines.extend(f"{ind}{line}" for line in core_epi)
+        lines.append(f"{ind}_nn = {self.charge} * _B")
+        lines.append(f"{ind}_core.instructions += _nn")
+        lines.append(f"{ind}_stats.instructions += _nn")
+        lines.append(f"{ind}_stats.branches += _B")
+        for field, n in em.counts.items():
+            if n:
+                lines.append(f"{ind}_stats.{field} += {n} * _B")
+        for local, target in stat_locals:
+            lines.append(f"{ind}if {local}:")
+            lines.append(f"{ind}    {target} += {local}")
+        return lines
+
+    # -- assembly --------------------------------------------------------
+
+    def build(self):
+        self._parse_terminator()
+        self._scan()
+        self._pair_memory()
+        self._classify_phis()
+        self._emit_phi_vectors()
+        sites = iter(self.sites)
+        for inst in self.insts:
+            kind = inst[0]
+            if kind in (_LOAD, _STORE, _PREFETCH):
+                j, skind, _idx, spec, sdst, is_rmw = next(sites)
+                self._emit_site(j, skind, spec, sdst, is_rmw)
+                continue
+            dst = inst[1]
+            if dst in self.vec or dst in self.chain:
+                continue
+            if dst in self.red_at_def:
+                self._emit_reduction(dst)
+            else:
+                self._emit_def(inst)
+        self._emit_alias_guards()
+        stream_zips = self._emit_streams()
+
+        # Exit condition: its dependence cone must be pre-trim (no
+        # memory), or the batch cannot know how far it may reach.
+        if not self.cc and not self.const_no_exit:
+            if self.cond in self.post_slots or self.cond in self.chain:
+                raise _Reject("exit-depends-on-memory")
+            cond_src, cond_post = self.vsrc(False, self.cond)
+            if cond_post:
+                raise _Reject("exit-depends-on-memory")
+        commit, commit_zips = self._commit_lines()
+        vtime = self._build_vtime()
+
+        ind = "    "
+        lines = list(vtime)
+        lines.append("def _vrun(regs, ready, budget):")
+        lines.append(f"{ind}if budget >= {1 << 62}:")
+        lines.append(f"{ind}    _B0 = {MAX_BATCH}")
+        lines.append(f"{ind}else:")
+        lines.append(f"{ind}    _B0 = -(-budget // {self.charge})")
+        lines.append(f"{ind}    if _B0 > {MAX_BATCH}: _B0 = {MAX_BATCH}")
+        lines.append(f"{ind}    if _B0 < 1: _B0 = 1")
+        lines.append(f"{ind}try:")
+        lines.append(f"{ind}    with _errstate(all='ignore'):")
+        body = f"{ind}        "
+        for s in sorted(self.invariants):
+            lines.append(f"{body}_x{s} = _inv(regs[{s}])")
+        lines.append(f"{body}_k = _np.arange(_B0)")
+        for line in self.pre:
+            lines.append(f"{body}{line}")
+        if self.const_no_exit:
+            lines.append(f"{body}_B = _B0")
+            lines.append(f"{body}_exit = 0")
+        else:
+            cond_src, _post = self.vsrc(False, self.cond)
+            lines.append(f"{body}_cv = _vb({cond_src}, _B0)")
+            lines.append(
+                f"{body}_xi = _np.flatnonzero(_cv {self.exit_cmp} 0)")
+            lines.append(f"{body}if _xi.size:")
+            lines.append(f"{body}    _B = int(_xi[0]) + 1")
+            lines.append(f"{body}    _exit = 1")
+            lines.append(f"{body}else:")
+            lines.append(f"{body}    _B = _B0")
+            lines.append(f"{body}    _exit = 0")
+        if self.pre_names:
+            lines.append(f"{body}if _B != _B0:")
+            for name in self.pre_names:
+                lines.append(f"{body}    {name} = {name}[:_B]")
+        for line in self.post:
+            lines.append(f"{body}{line}")
+        lines.append(f"{ind}except _MF:")
+        lines.append(f"{ind}    return _deopt('memory-fault')")
+        lines.append(f"{ind}except OverflowError:")
+        lines.append(f"{ind}    return _deopt('overflow')")
+        # ---- commit point: every mutation happens below this line ----
+        for s in sorted(self.inv_raw):
+            lines.append(f"{ind}_iv{s} = regs[{s}]")
+        if commit:
+            zvars = sorted(commit_zips)
+            head = ", ".join(zvars) + ("," if len(zvars) == 1 else "")
+            srcs = ", ".join(commit_zips[v] for v in zvars)
+            lines.append(f"{ind}for {head} in zip({srcs}):")
+            for line in commit:
+                lines.append(f"{ind}    {line}")
+        for dst in self.defs:
+            if dst in self.chain:
+                lines.append(f"{ind}regs[{dst}] = _s{dst}")
+            elif dst in self.const_val:
+                lines.append(
+                    f"{ind}regs[{dst}] = {self.const_val[dst]!r}")
+            else:
+                lines.append(f"{ind}regs[{dst}] = v{dst}[-1].item()")
+        for p in self.phi_class:
+            lines.append(f"{ind}regs[{p}] = v{p}[-1].item()")
+        lines.append(f"{ind}if _exit:")
+        for line in self._reg_moves(self.exit_moves):
+            lines.append(f"{ind}    {line}")
+        lines.append(f"{ind}else:")
+        for line in self._reg_moves(self.self_moves):
+            lines.append(f"{ind}    {line}")
+        if stream_zips:
+            lines.append(f"{ind}_vtime(ready, _B, _exit, "
+                         f"zip({', '.join(stream_zips)}))")
+        else:
+            lines.append(f"{ind}_vtime(ready, _B, _exit, None)")
+        lines.append(f"{ind}_n = {self.charge} * _B")
+        lines.append(f"{ind}_tr.entries += 1")
+        lines.append(f"{ind}_tr.iters += _B - _exit")
+        lines.append(f"{ind}_tr.insts += _n")
+        lines.append(f"{ind}_tr.vbatches += 1")
+        lines.append(f"{ind}_tr.viters += _B")
+        lines.append(f"{ind}if _tr.vbatches >= {PROBE_BATCHES} and "
+                     f"_tr.viters < {MIN_AVG_ITERS} * _tr.vbatches:")
+        lines.append(f"{ind}    _short()")
+        pcs = tuple(inst[1] for inst in self.insts
+                    if inst[0] == _PREFETCH)
+        if pcs and self.ms.telemetry is not None:
+            self.env["_note"] = self.ms.telemetry.note_vector_batch
+            self.env["_PCS"] = pcs
+            lines.append(f"{ind}_note(_PCS, _B)")
+        lines.append(
+            f"{ind}return ({self.exit_block} if _exit "
+            f"else {self.trace.header}), _n")
+        src = "\n".join(lines) + "\n"
+
+        env = self.env
+        env.update(_np=_np, _full=_full, _inv=_inv, _vb=_vb,
+                   _lshr=_lshr, _u=_u, _rng=_rng, _nz=_nz,
+                   _fpbad=_fpbad, _gather=_gather,
+                   _errstate=_np.errstate, _tr=self.trace,
+                   _deopt=_make_deopt(self.trace, self.tj),
+                   _short=_make_short_deopt(self.trace, self.tj))
+        if self.ms.fastpath:
+            env.update(_lines_of=self.ms.lines_of,
+                       _pages_of=self.ms.tlb.pages_of,
+                       _sets_of=self.ms.caches[0].sets_of)
+        fn = compile_source(src, env, "_vrun", "<vector-batch>")
+        info = {"ops": self.trace.ops,
+                "loads": sum(1 for _j, k, *_r in self.sites
+                             if k == _LOAD),
+                "stores": sum(1 for _j, k, *_r in self.sites
+                              if k == _STORE),
+                "prefetches": len(pcs), "chain": len(self.chain),
+                "reductions": len(self.red_at_def),
+                "mode": self.tj.mode, "fastpath": self.ms.fastpath}
+        return fn, info

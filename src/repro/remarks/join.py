@@ -33,9 +33,12 @@ from .serialize import dumps_stream, remark_to_dict
 INSERTION_REMARKS = ("PrefetchInserted", "PrefetchHoisted",
                      "BaselinePrefetchInserted")
 
-#: Columns of the rendered per-prefetch join table.
+#: Columns of the rendered per-prefetch join table.  "Vec" is the
+#: number of the PC's prefetches whose outcome classification happened
+#: inside the vectorized batch tier (``REPRO_SIM_VECTOR=1``; "-" when
+#: the run never batched that PC).
 COLUMNS = ["Prefetch", "PC", "Covered", "Offset", "Timely", "Late",
-           "Early", "Redundant", "Dropped", "Unused"]
+           "Early", "Redundant", "Dropped", "Unused", "Vec"]
 
 
 def collect_remarks(workload: Workload, variant: str = "auto",
@@ -64,12 +67,14 @@ def explain_workload(workload: Workload, machine: MachineConfig,
     pcs = static_prefetch_pcs(module, workload.entry)
     telemetry = variant_result.telemetry or {}
     per_pc = telemetry.get("prefetch", {}).get("per_pc", {})
+    vector_pcs = telemetry.get("vector", {}).get("per_pc", {})
     prefetches = []
     for remark in emitter.remarks:
         if remark.name not in INSERTION_REMARKS:
             continue
         pc = pcs.get(remark.prefetch_id)
         bins = (per_pc.get(str(pc)) if pc is not None else None)
+        vbins = (vector_pcs.get(str(pc)) if pc is not None else None)
         prefetches.append({
             "prefetch_id": remark.prefetch_id,
             "function": remark.function,
@@ -79,6 +84,7 @@ def explain_workload(workload: Workload, machine: MachineConfig,
             "outcomes": dict(bins) if bins is not None
             else {o: 0 for o in OUTCOMES},
             "observed": bins is not None,
+            "vector": dict(vbins) if vbins is not None else None,
         })
     return {
         "workload": workload.name,
@@ -148,6 +154,8 @@ def render_explain(rows: list[dict]) -> str:
                 bins.get("timely", 0), bins.get("late", 0),
                 bins.get("early", 0), bins.get("redundant", 0),
                 bins.get("dropped", 0), bins.get("unused", 0),
+                (pf["vector"]["prefetches"] if pf.get("vector")
+                 else "-"),
             ])
         out.append(format_table(COLUMNS, body, title))
     return "\n\n".join(out)

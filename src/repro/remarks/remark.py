@@ -69,11 +69,21 @@ KNOWN_REMARKS: dict[str, str] = {
     "TraceDeopt":
         "a trace recording was abandoned or a compiled trace was "
         "invalidated, with the reason",
+    # The vectorized batch tier (repro.machine.vectorsim).
+    "VectorBatchCompiled":
+        "a hot trace's address stream was proven dependence-free and "
+        "compiled to a vectorized batch driver",
+    "VectorDeopt":
+        "a trace was rejected for vectorization (plan) or a batch "
+        "guard failed at run time, with the reason",
     # Runtime configuration warnings.
     "TelemetryRingClamped":
         "REPRO_SIM_TELEMETRY_RING was invalid and a fallback was used",
     "TimelineWindowClamped":
         "REPRO_SIM_TIMELINE_WINDOW was invalid and a fallback was used",
+    "TraceJitThresholdClamped":
+        "REPRO_SIM_TRACEJIT_THRESHOLD was invalid and a fallback was "
+        "used",
 }
 
 #: Arg keys whose values are wall-clock measurements and therefore vary

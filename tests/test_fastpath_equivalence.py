@@ -178,15 +178,20 @@ class TestWorkloadEquivalence:
         assert snaps[0] == snaps[1]
 
 
-#: Execution tiers of the engine: reference, fused fast path, and the
-#: trace JIT on top of the fast path (``REPRO_SIM_TRACEJIT=1``).
-TIERS = ((False, False), (True, False), (True, True))
+#: Execution tiers of the engine: reference, fused fast path, the
+#: trace JIT on top of the fast path (``REPRO_SIM_TRACEJIT=1``), and
+#: the vectorized batch tier on top of the trace JIT
+#: (``REPRO_SIM_VECTOR=1``).  Each entry is (fastpath, tracejit,
+#: vector).
+TIERS = ((False, False, False), (True, False, False),
+         (True, True, False), (True, True, True))
 
 
 class TestTelemetryEquivalence:
     """Telemetry is observational: attaching a collector must leave
     every timing and architectural counter bit-identical, under every
-    execution tier (reference, fused fast path, trace JIT)."""
+    execution tier (reference, fused fast path, trace JIT, vectorized
+    batches)."""
 
     @pytest.mark.parametrize("machine", (HASWELL, A53),
                              ids=lambda m: m.name)
@@ -194,7 +199,7 @@ class TestTelemetryEquivalence:
     def test_tier_telemetry_matrix(self, machine, variant):
         from repro.workloads import IntegerSort
         snaps = {}
-        for fastpath, tracejit in TIERS:
+        for fastpath, tracejit, vector in TIERS:
             for telemetry in (False, True):
                 wl = IntegerSort(num_keys=2000, num_buckets=1 << 14)
                 module = wl.build_variant(variant)
@@ -203,6 +208,7 @@ class TestTelemetryEquivalence:
                 interp = Interpreter(module, mem, machine=machine,
                                      fastpath=fastpath,
                                      tracejit=tracejit,
+                                     vector=vector,
                                      telemetry=telemetry)
                 result = interp.run(wl.entry, prepared.args)
                 prepared.validate()
@@ -210,9 +216,9 @@ class TestTelemetryEquivalence:
                     assert result.telemetry is not None
                 else:
                     assert result.telemetry is None
-                snaps[(fastpath, tracejit, telemetry)] = \
+                snaps[(fastpath, tracejit, vector, telemetry)] = \
                     snapshot(interp)
-        base = snaps[(False, False, False)]
+        base = snaps[(False, False, False, False)]
         for combo, snap in snaps.items():
             assert snap == base, f"diverged at {combo}"
 
@@ -221,7 +227,7 @@ class TestTelemetryEquivalence:
     def test_manual_deep_chain_matrix(self, machine):
         from repro.workloads import hj8
         snaps = {}
-        for fastpath, tracejit in TIERS:
+        for fastpath, tracejit, vector in TIERS:
             for telemetry in (False, True):
                 wl = hj8(num_probes=1200, num_buckets=1 << 11)
                 module = wl.build_variant("manual")
@@ -230,12 +236,13 @@ class TestTelemetryEquivalence:
                 interp = Interpreter(module, mem, machine=machine,
                                      fastpath=fastpath,
                                      tracejit=tracejit,
+                                     vector=vector,
                                      telemetry=telemetry)
                 interp.run(wl.entry, prepared.args)
                 prepared.validate()
-                snaps[(fastpath, tracejit, telemetry)] = \
+                snaps[(fastpath, tracejit, vector, telemetry)] = \
                     snapshot(interp)
-        base = snaps[(False, False, False)]
+        base = snaps[(False, False, False, False)]
         for combo, snap in snaps.items():
             assert snap == base, f"diverged at {combo}"
 

@@ -30,9 +30,10 @@ from repro.telemetry.timeline import (DEFAULT_WINDOW_CYCLES,
                                       resolve_timeline,
                                       timeline_enabled, timeline_window)
 
-#: Execution tiers (fastpath, tracejit) — as in
+#: Execution tiers (fastpath, tracejit, vector) — as in
 #: tests/test_fastpath_equivalence.py.
-TIERS = ((False, False), (True, False), (True, True))
+TIERS = ((False, False, False), (True, False, False),
+         (True, True, False), (True, True, True))
 
 
 def snapshot(interp: Interpreter) -> dict:
@@ -204,7 +205,7 @@ class TestTimelineTierIdentity:
         from repro.workloads import IntegerSort
         snaps = {}
         telemetries = {}
-        for fastpath, tracejit in TIERS:
+        for fastpath, tracejit, vector in TIERS:
             for timeline in (False, True):
                 wl = IntegerSort(num_keys=2000, num_buckets=1 << 14)
                 module = wl.build_variant(variant)
@@ -217,6 +218,7 @@ class TestTimelineTierIdentity:
                 interp = Interpreter(module, mem, machine=machine,
                                      fastpath=fastpath,
                                      tracejit=tracejit,
+                                     vector=vector,
                                      telemetry=True,
                                      timeline=recorder)
                 result = interp.run(wl.entry, prepared.args)
@@ -226,15 +228,25 @@ class TestTimelineTierIdentity:
                     assert result.timeline["windows"]
                 else:
                     assert result.timeline is None
-                key = (fastpath, tracejit, timeline)
+                key = (fastpath, tracejit, vector, timeline)
                 snaps[key] = snapshot(interp)
                 telemetries[key] = result.telemetry
-        base = snaps[(False, False, False)]
-        base_tel = telemetries[(False, False, False)]
+        base = snaps[(False, False, False, False)]
+        base_tel = telemetries[(False, False, False, False)]
+        # The "vector" telemetry section attributes classification to
+        # the batch tier and is (by design) the one tier-dependent part
+        # of the snapshot; everything else must match bit-for-bit.
+        base_cmp = {k: v for k, v in base_tel.items() if k != "vector"}
         for combo, snap in snaps.items():
             assert snap == base, f"counters diverged at {combo}"
-            assert telemetries[combo] == base_tel, (
+            tel = telemetries[combo]
+            cmp = {k: v for k, v in tel.items() if k != "vector"}
+            assert cmp == base_cmp, (
                 f"telemetry diverged at {combo}")
+            if not combo[2]:
+                assert tel["vector"]["per_pc"] == {}, (
+                    f"vector attribution outside the vector tier "
+                    f"at {combo}")
 
     @pytest.mark.parametrize("machine", (HASWELL, A53),
                              ids=lambda m: m.name)
