@@ -10,8 +10,13 @@ figures' data-generation sequencing), and a hash of the simulator's own
 source code so any engine change invalidates everything.
 
 Cache layout: ``<root>/<key[:2]>/<key>.json``, one JSON-serialised
-:class:`~repro.bench.runner.VariantResult` per file, written atomically
-(temp file + rename) so concurrent runner processes can share a root.
+:class:`~repro.bench.runner.VariantResult` per file.  The disk layer is
+:class:`repro.serve.cas.ContentStore` — the content-addressed store
+shared with ``repro serve`` — so writes are atomic (same-directory temp
+file + rename), corrupt or truncated entries read as misses, and
+concurrent runner/server processes can share a root; ``repro cache gc``
+garbage-collects it.  :class:`RunCache` adds a per-process in-memory
+layer on top.
 
 Environment:
 
@@ -26,11 +31,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from ..serve.cas import ContentStore
 from ..telemetry.spans import span
 
 #: Bump when cached-result semantics change without a source change.
@@ -123,36 +128,30 @@ def run_key(ir_text: str, machine, workload, validate: bool,
     return hashlib.sha256(token.encode()).hexdigest()
 
 
-class RunCache:
-    """Content-addressed store of run results with an in-memory layer."""
+class RunCache(ContentStore):
+    """Content-addressed store of run results with an in-memory layer.
+
+    The disk behaviour — atomic writes, corrupt-entry tolerance under
+    concurrent writers — is inherited from :class:`ContentStore`; this
+    class adds the per-process memo and span instrumentation.
+    """
 
     def __init__(self, root: str | os.PathLike):
-        self.root = Path(root)
+        super().__init__(root)
         self._mem: dict[str, dict] = {}
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
         """Cached result dict for ``key``, or ``None`` (corrupt = miss)."""
         with span("cache", "probe", key=key[:12]) as s:
             data = self._mem.get(key)
             if data is None:
-                try:
-                    data = json.loads(self._path(key).read_text())
-                except (OSError, ValueError):
-                    self.misses += 1
-                    s["hit"] = False
-                    return None
-                if not isinstance(data, dict):
-                    self.misses += 1
+                data = super().get(key)  # counts the hit or miss
+                if data is None:
                     s["hit"] = False
                     return None
                 self._mem[key] = data
-            self.hits += 1
+            else:
+                self.hits += 1
             s["hit"] = True
             return data
 
@@ -160,20 +159,7 @@ class RunCache:
         """Store a result, atomically (safe under concurrent writers)."""
         with span("cache", "store", key=key[:12]):
             self._mem[key] = data
-            path = self._path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(data, handle)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-            self.stores += 1
+            super().put(key, data)
 
 
 def default_cache_dir() -> str:

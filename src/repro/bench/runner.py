@@ -13,6 +13,7 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field
 
+from ..envcfg import env_int
 from ..ir import print_module
 from ..machine.configs import MachineConfig
 from ..machine.interpreter import Interpreter
@@ -123,9 +124,17 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         with span("bench", "prepare", workload=workload.name):
             prepared = workload.prepare(memory)
         if hit is not None:
-            job["cached"] = True
-            TELEMETRY["cached_runs"] += 1
-            return VariantResult(**hit)
+            try:
+                out = VariantResult(**hit)
+            except TypeError:
+                # A row written by an incompatible schema (stale entry
+                # surviving a code-hash collision, or a hand-edited
+                # file) is a miss, not a crash.
+                hit = None
+            else:
+                job["cached"] = True
+                TELEMETRY["cached_runs"] += 1
+                return out
         job["cached"] = False
         interp = Interpreter(module, memory, machine=machine,
                              telemetry=with_telemetry,
@@ -186,10 +195,22 @@ class RunSpec:
                            **self.manual_knobs)
 
 
+#: Upper bound on ``REPRO_SIM_JOBS`` — more processes than this is
+#: certainly a typo, not a machine.
+MAX_JOBS = 4096
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit > ``REPRO_SIM_JOBS`` > available CPUs."""
+    """Worker count: explicit > ``REPRO_SIM_JOBS`` > available CPUs.
+
+    ``REPRO_SIM_JOBS`` is validated like the other runtime knobs
+    (:func:`repro.envcfg.env_int`): a non-integer or negative value
+    warns and falls back to autodetection, an absurd one clamps to
+    :data:`MAX_JOBS` — never a crash.
+    """
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_SIM_JOBS", "0")) or None
+        jobs = env_int("REPRO_SIM_JOBS", 0, minimum=0,
+                       maximum=MAX_JOBS) or None
     if jobs is None:
         try:
             jobs = len(os.sched_getaffinity(0))

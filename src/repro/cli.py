@@ -195,6 +195,102 @@ def _build_parser() -> argparse.ArgumentParser:
         "--perfetto", metavar="FILE",
         help="write the runs as Chrome trace-event JSON (loadable at "
              "ui.perfetto.dev) to FILE")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the multi-tenant compile-and-simulate HTTP service")
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (0 = pick a free one; default 8787)")
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation worker processes (default: "
+             "REPRO_SERVE_WORKERS or the available CPUs)")
+    serve_cmd.add_argument(
+        "--queue", type=int, default=64, metavar="N",
+        help="max distinct jobs in flight before shedding with 429 "
+             "(default 64)")
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="per-request execution deadline in seconds; a blown "
+             "deadline answers 504 and recycles the worker "
+             "(default 300)")
+    serve_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result store root (default: "
+             "REPRO_SIM_CACHE_DIR or .serve-cas)")
+    serve_cmd.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="CAS byte budget; LRU garbage collection runs "
+             "opportunistically past it (default: unbounded)")
+    serve_cmd.add_argument(
+        "--debug", action="store_true", help=argparse.SUPPRESS)
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit one job to a running repro serve")
+    submit_cmd.add_argument(
+        "target", nargs="?",
+        help="workload name (is, cg, ra, hj2, hj8, g500-s16, "
+             "g500-s21); omit when using --source")
+    submit_cmd.add_argument(
+        "--source", metavar="FILE",
+        help="compile request: C-like kernel source file instead of a "
+             "simulation target")
+    submit_cmd.add_argument(
+        "--host", default="127.0.0.1", help="server address")
+    submit_cmd.add_argument(
+        "--port", type=int, default=8787, help="server port")
+    submit_cmd.add_argument(
+        "--machine", default="Haswell", metavar="NAME",
+        help="machine to simulate (default Haswell)")
+    submit_cmd.add_argument(
+        "--variant", default="auto", metavar="V",
+        help="variant to run (default auto)")
+    submit_cmd.add_argument(
+        "--lookahead", type=int, default=64, metavar="C",
+        help="look-ahead constant c of eq. (1) (default 64)")
+    submit_cmd.add_argument(
+        "--small", action="store_true",
+        help="scaled-down workload (quick smoke sizes)")
+    submit_cmd.add_argument(
+        "--tier", default="auto",
+        choices=("auto", "reference", "fastpath", "tracejit", "vector"),
+        help="execution tier gate for the worker (default auto)")
+    submit_cmd.add_argument(
+        "--include", default="", metavar="LIST",
+        help="comma-separated extras to return: "
+             "telemetry,remarks,timeline,spans")
+    submit_cmd.add_argument(
+        "--no-validate", action="store_true",
+        help="skip functional validation of the results")
+    submit_cmd.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="compile requests: run the -O cleanup pipeline")
+    submit_cmd.add_argument(
+        "--no-prefetch", action="store_true",
+        help="compile requests: skip the indirect-prefetch pass")
+    submit_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="fetch /metrics instead of submitting a job")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and garbage-collect the result store")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    gc_cmd = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries over a byte "
+                   "budget (works on any run-cache/CAS root)")
+    gc_cmd.add_argument(
+        "--max-bytes", type=int, default=256 << 20, metavar="N",
+        help="byte budget to trim the store to (default 256 MiB)")
+    gc_cmd.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting")
+    gc_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="store root (default: REPRO_SIM_CACHE_DIR or .sim-cache)")
     return parser
 
 
@@ -453,15 +549,12 @@ def _stats_workloads(target: str, small: bool):
     matched by name (case- and punctuation-insensitive, so ``hj2``
     finds HJ-2).
     """
-    from .workloads import paper_benchmarks
+    from .workloads import canonical_name, paper_benchmarks
     suite = paper_benchmarks(small=small)
     if target in ("quick", "suite", "all") or target in _FIG4_MACHINES:
         return suite
-
-    def canon(name: str) -> str:
-        return name.lower().replace("-", "").replace("_", "")
-
-    matches = [w for w in suite if canon(w.name) == canon(target)]
+    matches = [w for w in suite
+               if canonical_name(w.name) == canonical_name(target)]
     return matches or None
 
 
@@ -572,6 +665,95 @@ def _cmd_timeline(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from .serve.server import ServeConfig, serve_forever
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue, timeout_s=args.timeout,
+        cache_dir=args.cache_dir, cas_max_bytes=args.max_bytes,
+        debug=args.debug)
+    if config.queue_limit < 1 or config.timeout_s <= 0:
+        print("error: --queue must be >= 1 and --timeout > 0",
+              file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(serve_forever(config))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace, out) -> int:
+    import json
+
+    from .serve.client import ServeHTTPError, get_metrics, submit
+    if args.metrics:
+        try:
+            print(json.dumps(get_metrics(args.host, args.port),
+                             indent=2), file=out)
+        except (OSError, ServeHTTPError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    include = [part for part in args.include.split(",") if part]
+    if args.source:
+        try:
+            with open(args.source) as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.source}: {exc}",
+                  file=sys.stderr)
+            return 1
+        request = {"kind": "compile", "source": source,
+                   "prefetch": not args.no_prefetch,
+                   "optimize": args.optimize,
+                   "lookahead": args.lookahead, "include": include}
+    elif args.target:
+        request = {"kind": "simulate", "workload": args.target,
+                   "small": args.small, "variant": args.variant,
+                   "machine": args.machine,
+                   "lookahead": args.lookahead, "tier": args.tier,
+                   "validate": not args.no_validate,
+                   "include": include}
+    else:
+        print("error: submit needs a workload target or --source",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = submit(args.host, args.port, request)
+    except ServeHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2), file=out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, out) -> int:
+    from .bench.cache import default_cache_dir
+    from .serve.cas import ContentStore
+    root = args.cache_dir or default_cache_dir()
+    store = ContentStore(root)
+    if args.max_bytes < 0:
+        print("error: --max-bytes must be >= 0", file=sys.stderr)
+        return 2
+    report = store.gc(args.max_bytes, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"cache gc {root}: {report['entries']} entries, "
+          f"{report['bytes']} bytes; {verb} "
+          f"{len(report['removed'])} entries "
+          f"({report['removed_bytes']} bytes), keeping "
+          f"{report['kept_bytes']} bytes", file=out)
+    for key in report["removed"]:
+        print(f"  {verb} {key}", file=out)
+    return 0
+
+
 def _cmd_systems(out) -> int:
     from .bench.experiments import table1_rows
     rows = table1_rows()
@@ -598,4 +780,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_explain(args, out)
     if args.command == "timeline":
         return _cmd_timeline(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "submit":
+        return _cmd_submit(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

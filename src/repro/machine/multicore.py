@@ -33,10 +33,10 @@ thread count.
 from __future__ import annotations
 
 import heapq
-import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..envcfg import env_int
 from ..ir.module import Module
 from .configs import MachineConfig
 from .dram import DRAMChannel
@@ -64,16 +64,25 @@ class MulticoreResult:
         return len(self.per_core) / self.makespan if self.makespan else 0.0
 
 
+#: Upper bound on ``REPRO_SIM_MC_WORKERS`` — the barrier schedule runs
+#: one thread per live core, so more than this is a typo.
+MAX_MC_WORKERS = 256
+
+
 def mc_workers(explicit: int | None = None) -> int:
     """Resolve the worker count: explicit setting, else the
     ``REPRO_SIM_MC_WORKERS`` environment variable (default 0 = the
-    sequential shared-queue scheduler)."""
+    sequential shared-queue scheduler).
+
+    The variable is validated like the other runtime knobs
+    (:func:`repro.envcfg.env_int`): a non-integer or negative value
+    warns and falls back to the sequential scheduler, an absurd one
+    clamps to :data:`MAX_MC_WORKERS` — never a crash.
+    """
     if explicit is not None:
         return max(0, explicit)
-    try:
-        return max(0, int(os.environ.get("REPRO_SIM_MC_WORKERS", "0")))
-    except ValueError:
-        return 0
+    return env_int("REPRO_SIM_MC_WORKERS", 0, minimum=0,
+                   maximum=MAX_MC_WORKERS)
 
 
 def run_multicore(modules: list[Module], func_name: str,

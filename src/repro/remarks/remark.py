@@ -84,6 +84,9 @@ KNOWN_REMARKS: dict[str, str] = {
     "TraceJitThresholdClamped":
         "REPRO_SIM_TRACEJIT_THRESHOLD was invalid and a fallback was "
         "used",
+    "EnvVarClamped":
+        "an integer REPRO_* environment variable was invalid and a "
+        "fallback was used (see repro.envcfg.env_int)",
 }
 
 #: Arg keys whose values are wall-clock measurements and therefore vary

@@ -1,0 +1,30 @@
+"""``repro serve`` — the multi-tenant compile-and-simulate service.
+
+The package wraps the whole compile→optimize→simulate pipeline behind
+a long-running asyncio HTTP/JSON service so many clients share one
+simulation substrate:
+
+* :mod:`repro.serve.cas` — the content-addressed result store (CAS),
+  promoted from the bench run-cache's disk layer: atomic writes,
+  corrupt-entry tolerance, LRU garbage collection (``repro cache gc``);
+* :mod:`repro.serve.protocol` — the versioned request schema
+  (``repro-serve-request-v1``), request canonicalisation and content
+  keys, and the worker-side executor;
+* :mod:`repro.serve.http` — a minimal HTTP/1.1 layer over asyncio
+  streams (no external dependencies);
+* :mod:`repro.serve.pool` — the sharded process worker pool with
+  per-request timeouts (a hung worker is killed and its slot
+  reclaimed);
+* :mod:`repro.serve.server` — the service itself: request coalescing,
+  CAS probe/store, bounded-queue back-pressure (429 + Retry-After),
+  and the ``/metrics`` endpoint;
+* :mod:`repro.serve.client` — stdlib-only sync and async clients used
+  by ``repro submit`` and ``tools/load_test.py``.
+
+Only :mod:`cas` is imported eagerly — it is also a dependency of
+:mod:`repro.bench.cache`, and keeping the rest lazy avoids a cycle.
+"""
+
+from .cas import ContentStore, store_key
+
+__all__ = ["ContentStore", "store_key"]

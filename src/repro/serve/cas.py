@@ -1,0 +1,172 @@
+"""Content-addressed store (CAS) of JSON results.
+
+Promoted from the disk layer of the bench run-cache (PR 1): one
+JSON-serialised result per file under ``<root>/<key[:2]>/<key>.json``,
+where ``key`` is a SHA-256 content hash of everything that determines
+the result.  The store is safe for many concurrent writers — every
+write goes through a same-directory temp file plus an atomic
+``os.replace`` — and *forgiving* readers: a corrupt, truncated, or
+concurrently-vanishing entry is a miss, never an exception.
+
+:class:`ContentStore` is the base used both by
+:class:`repro.bench.cache.RunCache` (which adds an in-memory layer and
+simulation-specific keying) and by the serve subsystem's result store.
+Garbage collection (:meth:`ContentStore.gc`) evicts least-recently-used
+entries by file mtime until the store fits a byte budget; ``repro
+cache gc`` exposes it on the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def store_key(value) -> str:
+    """SHA-256 content key of a JSON-serialisable value.
+
+    The value is canonicalised (sorted keys, compact separators) so two
+    structurally-equal requests produce the same key regardless of dict
+    insertion order.
+    """
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ContentStore:
+    """Content-addressed store of JSON dicts with atomic writes.
+
+    :param root: store directory (created lazily on first write).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored dict for ``key``, or ``None``.
+
+        Any unreadable entry — missing, truncated, non-JSON, non-dict,
+        or deleted between stat and read by a concurrent GC — counts as
+        a miss: readers never crash on another process's half-state.
+        """
+        try:
+            data = json.loads(self._path(key).read_bytes())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(data, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists (without reading or counting it)."""
+        return self._path(key).is_file()
+
+    def put(self, key: str, data: dict) -> None:
+        """Store ``data`` under ``key``, atomically.
+
+        The temp file lives in the destination directory so the final
+        ``os.replace`` is a same-filesystem rename: concurrent readers
+        see either the old entry or the new one, never a torn write.
+        Racing writers of the same key are both writing the same
+        content-addressed bytes, so the last rename wins harmlessly.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def entries(self) -> list[dict]:
+        """All entries as ``{key, path, bytes, mtime}`` rows.
+
+        Entries that vanish mid-scan (a concurrent GC or writer) are
+        skipped.  Leftover ``*.tmp`` files from crashed writers are not
+        entries — :meth:`gc` sweeps them.
+        """
+        rows = []
+        if not self.root.is_dir():
+            return rows
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            rows.append({"key": path.stem, "path": path,
+                         "bytes": stat.st_size, "mtime": stat.st_mtime})
+        return rows
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently stored."""
+        return sum(row["bytes"] for row in self.entries())
+
+    def gc(self, max_bytes: int, dry_run: bool = False) -> dict:
+        """Evict least-recently-used entries until ≤ ``max_bytes``.
+
+        LRU is by file mtime (a hit does not touch the file, so this
+        approximates insertion order unless callers ``os.utime`` on
+        use).  Orphaned ``*.tmp`` files older than an hour are removed
+        too.  Returns a report dict::
+
+            {"entries": n, "bytes": total, "removed": [keys...],
+             "removed_bytes": n, "kept_bytes": n, "dry_run": bool}
+
+        With ``dry_run`` nothing is deleted; the report shows what
+        would go.  Missing files during deletion are ignored (another
+        process won the race).
+        """
+        rows = sorted(self.entries(), key=lambda r: r["mtime"])
+        total = sum(r["bytes"] for r in rows)
+        report = {"entries": len(rows), "bytes": total, "removed": [],
+                  "removed_bytes": 0, "kept_bytes": total,
+                  "dry_run": bool(dry_run)}
+        excess = total - max(0, int(max_bytes))
+        for row in rows:
+            if excess <= 0:
+                break
+            report["removed"].append(row["key"])
+            report["removed_bytes"] += row["bytes"]
+            excess -= row["bytes"]
+            if not dry_run:
+                try:
+                    os.unlink(row["path"])
+                except OSError:
+                    pass
+        report["kept_bytes"] = total - report["removed_bytes"]
+        if not dry_run:
+            self._sweep_tmp()
+        return report
+
+    def _sweep_tmp(self, min_age_s: float = 3600.0) -> None:
+        """Remove stale temp files left by crashed writers."""
+        import time
+        cutoff = time.time() - min_age_s
+        if not self.root.is_dir():
+            return
+        for tmp in self.root.glob("??/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,138 @@
+"""Stdlib-only clients for the serve API.
+
+:class:`AsyncClient` keeps one connection open (HTTP/1.1 keep-alive)
+and is what ``tools/load_test.py`` drives by the hundred;
+:func:`submit` / :func:`get_metrics` are blocking one-shot helpers for
+``repro submit`` and scripts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from .http import ProtocolError
+
+
+class ServeHTTPError(Exception):
+    """Non-2xx answer; carries the status and decoded body."""
+
+    def __init__(self, status: int, body: dict):
+        super().__init__(f"HTTP {status}: "
+                         f"{body.get('error', body) if isinstance(body, dict) else body}")
+        self.status = status
+        self.body = body
+
+
+class AsyncClient:
+    """One persistent connection to the service."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def request(self, method: str, path: str,
+                      body: dict | None = None) -> tuple[int, dict]:
+        """One exchange on the persistent connection.
+
+        Returns ``(status, decoded_json_body)``; transport errors
+        propagate (the load harness counts them).
+        """
+        if self._writer is None:
+            await self.connect()
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"\r\n").encode()
+        self._writer.write(head + payload)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> tuple[int, dict]:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ProtocolError(502, f"bad status line {line[:80]!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length)
+        try:
+            decoded = json.loads(body) if body else {}
+        except ValueError:
+            decoded = {"raw": body.decode("utf-8", "replace")}
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, decoded
+
+    async def submit(self, request: dict) -> tuple[int, dict]:
+        """POST one job."""
+        return await self.request("POST", "/v1/jobs", request)
+
+
+def _one_shot(host: str, port: int, method: str, path: str,
+              body: dict | None = None, timeout: float = 600.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json",
+                              "Connection": "close"})
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, decoded
+    finally:
+        conn.close()
+
+
+def submit(host: str, port: int, request: dict,
+           timeout: float = 600.0) -> dict:
+    """Blocking submit; raises :class:`ServeHTTPError` on non-2xx."""
+    status, body = _one_shot(host, port, "POST", "/v1/jobs", request,
+                             timeout)
+    if status != 200:
+        raise ServeHTTPError(status, body)
+    return body
+
+
+def get_metrics(host: str, port: int, timeout: float = 30.0) -> dict:
+    """Blocking ``GET /metrics``."""
+    status, body = _one_shot(host, port, "GET", "/metrics", None,
+                             timeout)
+    if status != 200:
+        raise ServeHTTPError(status, body)
+    return body

@@ -1,0 +1,386 @@
+"""The compile-and-simulate service: coalescing, CAS, back-pressure.
+
+Request lifecycle (``POST /v1/jobs``):
+
+1. **Parse + validate** — malformed JSON or schema violations answer
+   400 without touching a worker.
+2. **CAS probe** — the canonical request hashes to a content key
+   (:func:`repro.serve.protocol.request_key`); a stored result answers
+   immediately (``cached: true``).
+3. **Coalesce** — if an identical request is already in flight, the
+   handler awaits the *same* future (``coalesced: true``): N clients
+   asking for one simulation cost one simulation.  The job is owned by
+   a detached task, so a client that disconnects mid-wait never cancels
+   the work the others are waiting on.
+4. **Admit or shed** — at most ``queue_limit`` distinct jobs may be in
+   flight; beyond that the server sheds load with 429 + ``Retry-After``
+   instead of queueing unboundedly.
+5. **Execute** — a pool worker runs the job under a per-request
+   deadline; a blown deadline kills the worker (slot reclaimed) and
+   answers 504.  Successful results are stored to the CAS before the
+   waiters are woken.
+
+``GET /metrics`` exports the counters (requests by status, coalesce and
+CAS hits, queue depth, worker restarts, p50/p99 latency);
+``GET /healthz`` is a liveness probe; ``GET /v1/store/<key>`` reads a
+stored result back by key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..envcfg import env_int
+from .cas import ContentStore
+from .http import (ProtocolError, error_body, read_request,
+                   render_response, wants_close)
+from .pool import JobTimeout, WorkerCrash, WorkerPool
+from .protocol import RequestError, normalize_request, request_key
+
+#: Default store root for the service (distinct from the bench cache's
+#: ``.sim-cache`` default; override with ``--cache-dir`` or the same
+#: ``REPRO_SIM_CACHE_DIR`` variable the bench honours).
+DEFAULT_STORE_DIR = ".serve-cas"
+
+
+def default_workers() -> int:
+    """Pool size: ``REPRO_SERVE_WORKERS`` (validated) or the CPUs."""
+    workers = env_int("REPRO_SERVE_WORKERS", 0, minimum=0, maximum=256)
+    if workers:
+        return workers
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ServeConfig:
+    """Operator-facing service configuration (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int | None = None
+    #: Max distinct jobs in flight before load shedding (429).
+    queue_limit: int = 64
+    #: Per-request execution deadline, seconds.
+    timeout_s: float = 300.0
+    cache_dir: str | None = None
+    #: CAS byte budget; GC runs opportunistically after stores.
+    cas_max_bytes: int | None = None
+    #: Multiprocessing start method override for the pool.
+    mp_context: str | None = None
+    #: Accept debug 'sleep' jobs (tests only).
+    debug: bool = False
+
+    def resolved_store_dir(self) -> str:
+        return (self.cache_dir
+                or os.environ.get("REPRO_SIM_CACHE_DIR")
+                or DEFAULT_STORE_DIR)
+
+
+class Metrics:
+    """Service counters plus a bounded latency reservoir."""
+
+    def __init__(self, reservoir: int = 8192):
+        self.started = time.time()
+        self.requests_total = 0
+        self.by_status: dict[str, int] = {}
+        self.coalesce_hits = 0
+        self.cas_hits = 0
+        self.jobs_executed = 0
+        self.job_errors = 0
+        self.timeouts = 0
+        self.shed = 0
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, status: int, latency_ms: float) -> None:
+        self.requests_total += 1
+        self.by_status[str(status)] = \
+            self.by_status.get(str(status), 0) + 1
+        self._latencies.append(latency_ms)
+
+    def percentile(self, pct: float) -> float:
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          round(pct / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self, server: "Server") -> dict:
+        return {
+            "schema": "repro-serve-metrics-v1",
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests": {"total": self.requests_total,
+                         "by_status": dict(sorted(
+                             self.by_status.items()))},
+            "coalesce_hits": self.coalesce_hits,
+            "cas": {"hits": self.cas_hits,
+                    "misses": server.store.misses,
+                    "stores": server.store.stores},
+            "jobs": {"executed": self.jobs_executed,
+                     "errors": self.job_errors,
+                     "timeouts": self.timeouts,
+                     "shed": self.shed},
+            "queue": {"depth": len(server._inflight),
+                      "limit": server.config.queue_limit},
+            "workers": {"count": server.pool.size if server.pool else 0,
+                        "restarts": (server.pool.restarts
+                                     if server.pool else 0)},
+            "latency_ms": {"count": len(self._latencies),
+                           "p50": round(self.percentile(50), 3),
+                           "p99": round(self.percentile(99), 3),
+                           "max": round(max(self._latencies), 3)
+                                  if self._latencies else 0.0},
+        }
+
+
+@dataclass
+class _Inflight:
+    """One admitted job: the future every coalesced waiter awaits."""
+
+    future: asyncio.Future
+    waiters: int = 1
+    task: asyncio.Task | None = field(default=None, compare=False)
+
+
+class Server:
+    """The asyncio service.  Use :meth:`start` / :meth:`close`, or
+    :func:`serve_forever` from the CLI."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.store = ContentStore(self.config.resolved_store_dir())
+        self.metrics = Metrics()
+        self.pool: WorkerPool | None = None
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight: dict[str, _Inflight] = {}
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        workers = self.config.workers or default_workers()
+        self.pool = WorkerPool(workers, context=self.config.mp_context)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for entry in list(self._inflight.values()):
+            if entry.task is not None:
+                entry.task.cancel()
+        if self.pool is not None:
+            self.pool.close()
+
+    # -- connection handling ------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    self.metrics.observe(exc.status, 0.0)
+                    writer.write(render_response(
+                        exc.status, error_body(exc.status, exc.message),
+                        close=True))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                close = wants_close(request)
+                status, body, headers = await self._route(request)
+                writer.write(render_response(status, body,
+                                             headers=headers,
+                                             close=close))
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError here means the loop is tearing down
+                # mid-cleanup; the handler is finished either way.
+                pass
+
+    async def _route(self, request: dict):
+        """Dispatch one parsed request → (status, body, headers)."""
+        method, path = request["method"], request["path"]
+        start = time.perf_counter()
+        headers: dict = {}
+        try:
+            if path == "/healthz" and method == "GET":
+                status, body = 200, {"status": "ok"}
+            elif path == "/metrics" and method == "GET":
+                status, body = 200, self.metrics.snapshot(self)
+            elif path.startswith("/v1/store/") and method == "GET":
+                status, body = self._get_store(path[len("/v1/store/"):])
+            elif path == "/v1/jobs" and method == "POST":
+                status, body, headers = await self._submit(request)
+            elif path in ("/healthz", "/metrics", "/v1/jobs") or \
+                    path.startswith("/v1/store/"):
+                status = 405
+                body = error_body(405, f"{method} not allowed on {path}")
+            else:
+                status = 404
+                body = error_body(404, f"no route for {path}")
+        except Exception as exc:  # never drop a connection unanswered
+            status = 500
+            body = error_body(500, f"{type(exc).__name__}: {exc}")
+        latency_ms = (time.perf_counter() - start) * 1e3
+        self.metrics.observe(status, latency_ms)
+        if isinstance(body, dict) and body.get("status") == "ok":
+            body["latency_ms"] = round(latency_ms, 3)
+        return status, body, headers
+
+    def _get_store(self, key: str):
+        data = self.store.get(key)
+        if data is None:
+            return 404, error_body(404, f"no stored result {key[:16]}…")
+        return 200, data
+
+    # -- job submission -----------------------------------------------
+
+    async def _submit(self, request: dict):
+        try:
+            raw = json.loads(request["body"] or b"")
+        except ValueError:
+            return 400, error_body(400, "request body is not valid "
+                                        "JSON"), {}
+        if isinstance(raw, dict) and "include" in request["query"]:
+            # ?include=telemetry,remarks overrides the body field.
+            raw = dict(raw, include=request["query"]["include"])
+        try:
+            norm = normalize_request(raw, debug=self.config.debug)
+        except RequestError as exc:
+            return 400, error_body(400, str(exc)), {}
+
+        key = request_key(norm)
+        storable = norm["kind"] != "sleep"
+        if storable:
+            hit = self.store.get(key)
+            if hit is not None:
+                self.metrics.cas_hits += 1
+                return 200, dict(hit, cached=True, coalesced=False,
+                                 key=key), {}
+
+        entry = self._inflight.get(key)
+        if entry is not None:
+            self.metrics.coalesce_hits += 1
+            entry.waiters += 1
+            coalesced = True
+        else:
+            if len(self._inflight) >= self.config.queue_limit:
+                self.metrics.shed += 1
+                return 429, error_body(
+                    429, f"server saturated ({self.config.queue_limit} "
+                         f"jobs in flight); retry shortly"), \
+                    {"Retry-After": "1"}
+            loop = asyncio.get_running_loop()
+            entry = _Inflight(future=loop.create_future())
+            self._inflight[key] = entry
+            # The job task is detached from every client connection:
+            # a disconnecting waiter can never cancel the simulation
+            # for the others (or for the CAS).
+            entry.task = loop.create_task(
+                self._run_job(key, norm, storable, entry.future))
+            coalesced = False
+
+        try:
+            payload = await asyncio.shield(entry.future)
+        except JobTimeout as exc:
+            return 504, error_body(504, str(exc)), {}
+        except WorkerCrash as exc:
+            return 500, error_body(500, str(exc)), {}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            return 500, error_body(500, f"{type(exc).__name__}: "
+                                        f"{exc}"), {}
+        if payload.get("status") != "ok":
+            code = int(payload.get("code", 500))
+            return code, dict(payload, key=key), {}
+        return 200, dict(payload, cached=False, coalesced=coalesced,
+                         key=key), {}
+
+    async def _run_job(self, key: str, norm: dict, storable: bool,
+                       future: asyncio.Future) -> None:
+        try:
+            payload = await self.pool.run(
+                norm, timeout=self.config.timeout_s)
+        except JobTimeout as exc:
+            self.metrics.timeouts += 1
+            self._inflight.pop(key, None)
+            future.set_exception(exc)
+            return
+        except Exception as exc:
+            self.metrics.job_errors += 1
+            self._inflight.pop(key, None)
+            future.set_exception(exc)
+            return
+        self.metrics.jobs_executed += 1
+        if payload.get("status") != "ok":
+            self.metrics.job_errors += 1
+        elif storable:
+            try:
+                self.store.put(key, payload)
+            except OSError:
+                pass  # a full disk must not fail the simulation
+            self._maybe_gc()
+        self._inflight.pop(key, None)
+        future.set_result(payload)
+
+    def _maybe_gc(self) -> None:
+        """Opportunistic CAS GC: every 32 stores, trim to budget."""
+        budget = self.config.cas_max_bytes
+        if budget and self.store.stores % 32 == 0:
+            self.store.gc(budget)
+
+
+async def serve_forever(config: ServeConfig) -> None:
+    """CLI entry: start, announce, and run until signalled.
+
+    SIGTERM/SIGINT trigger a graceful shutdown — crucially including
+    :meth:`WorkerPool.close`: the forked workers inherit each other's
+    pipe ends, so without an explicit stop a plain ``terminate()`` of
+    the server process would orphan the whole pool.
+    """
+    import signal
+
+    server = Server(config)
+    await server.start()
+    print(f"repro serve listening on {config.host}:{server.port} "
+          f"(workers={server.pool.size}, "
+          f"queue={config.queue_limit}, "
+          f"timeout={config.timeout_s:g}s, "
+          f"store={server.store.root})", flush=True)
+    loop = asyncio.get_running_loop()
+    stopping = asyncio.Event()
+    hooked = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stopping.set)
+            hooked.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass  # pragma: no cover - non-Unix event loops
+    try:
+        # start_server is already accepting connections; just wait.
+        await stopping.wait()
+    finally:
+        for sig in hooked:
+            loop.remove_signal_handler(sig)
+        await server.close()

@@ -66,6 +66,21 @@ class SpanRecorder:
         return [r for r in self.records if r["type"] == "span"
                 and (category is None or r["category"] == category)]
 
+    def snapshot(self) -> dict:
+        """JSON-safe export of the recorded pipeline (wire format).
+
+        ``repro serve`` returns this on ``include=spans``; args are
+        stringified where needed so the snapshot always serialises.
+        """
+        def safe(value):
+            if isinstance(value, (bool, int, float, str)) or value is None:
+                return value
+            return repr(value)
+
+        records = [dict(r, args={k: safe(v) for k, v in r["args"].items()})
+                   for r in self.records]
+        return {"schema": "repro-spans-v1", "records": records}
+
 
 def active_recorder() -> SpanRecorder | None:
     """The innermost active recorder, or ``None``."""

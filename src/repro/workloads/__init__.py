@@ -19,7 +19,28 @@ __all__ = [
     "ConjugateGradient", "Graph500", "HashJoin", "hj2", "hj8",
     "IntegerSort", "RandomAccess",
     "CSRGraph", "bfs_reference", "generate_kronecker",
+    "canonical_name", "paper_benchmarks", "workload_by_name",
 ]
+
+
+def canonical_name(name: str) -> str:
+    """Case- and punctuation-insensitive workload-name form, so user
+    spellings like ``hj2`` or ``g500_s16`` match ``HJ-2`` / ``G500-s16``."""
+    return name.lower().replace("-", "").replace("_", "")
+
+
+def workload_by_name(name: str, small: bool = False):
+    """A fresh instance of the suite workload called ``name``, or
+    ``None`` if no workload matches (see :func:`canonical_name`).
+
+    A *fresh* instance matters: each one carries its own RNG at the
+    seed state, so two calls build identical inputs — the property the
+    serve subsystem's content-addressed result keys rely on.
+    """
+    for workload in paper_benchmarks(small=small):
+        if canonical_name(workload.name) == canonical_name(name):
+            return workload
+    return None
 
 
 def paper_benchmarks(small: bool = False) -> list[Workload]:
