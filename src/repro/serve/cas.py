@@ -21,8 +21,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 from pathlib import Path
+
+#: The only shape a content key can have: a full SHA-256 hexdigest.
+#: Everything else — in particular anything containing ``/`` or ``..``
+#: — must be rejected *before* it is joined into a filesystem path.
+KEY_RE = re.compile(r"[0-9a-f]{64}")
+
+
+def valid_key(key) -> bool:
+    """Whether ``key`` is a well-formed content key."""
+    return isinstance(key, str) and KEY_RE.fullmatch(key) is not None
 
 
 def store_key(value) -> str:
@@ -50,14 +61,20 @@ class ContentStore:
         self.stores = 0
 
     def _path(self, key: str) -> Path:
+        """Filesystem location of ``key`` — which must be a validated
+        content key: an unvalidated key containing ``/`` or ``..``
+        would escape the store root (path traversal)."""
+        if not valid_key(key):
+            raise ValueError(f"invalid content key {key[:80]!r}")
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
         """The stored dict for ``key``, or ``None``.
 
         Any unreadable entry — missing, truncated, non-JSON, non-dict,
-        or deleted between stat and read by a concurrent GC — counts as
-        a miss: readers never crash on another process's half-state.
+        deleted between stat and read by a concurrent GC, or addressed
+        by a malformed key — counts as a miss: readers never crash on
+        another process's half-state (or a hostile key).
         """
         try:
             data = json.loads(self._path(key).read_bytes())
@@ -72,7 +89,7 @@ class ContentStore:
 
     def contains(self, key: str) -> bool:
         """Whether an entry exists (without reading or counting it)."""
-        return self._path(key).is_file()
+        return valid_key(key) and self._path(key).is_file()
 
     def put(self, key: str, data: dict) -> None:
         """Store ``data`` under ``key``, atomically.

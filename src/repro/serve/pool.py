@@ -29,6 +29,7 @@ import asyncio
 import multiprocessing
 import os
 import queue
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 
@@ -142,31 +143,54 @@ class WorkerPool:
             max_workers=self.size, thread_name_prefix="repro-serve-io")
         #: Workers killed for blowing their deadline (metrics).
         self.restarts = 0
+        self._closing = False
 
-    def _submit_sync(self, payload: dict,
+    def _recycle(self, worker: _Worker) -> None:
+        """Respawn a dead or wedged worker — unless the pool is
+        closing, when the pipe error *is* shutdown itself and a
+        respawn would leak a fresh child past :meth:`close`."""
+        if self._closing:
+            raise WorkerCrash(f"pool is closing; worker "
+                              f"{worker.index} not restarted")
+        worker.restart()
+        self.restarts += 1
+
+    def _submit_sync(self, payload: dict, deadline: float | None,
                      timeout: float | None) -> dict:
-        """Blocking submit, run on a pool I/O thread."""
+        """Blocking submit, run on a pool I/O thread.
+
+        ``deadline`` is absolute (``time.monotonic``), stamped at
+        admission in :meth:`run` — time a job spends queued behind
+        other work on these threads counts against its budget, so
+        client-visible latency really is bounded by the advertised
+        per-request deadline.
+        """
         worker = self._idle.get()
         try:
+            if deadline is not None and time.monotonic() >= deadline:
+                # The budget burned down in the queue; the worker was
+                # never touched, so there is nothing to recycle.
+                raise JobTimeout(
+                    f"job spent its {timeout:.1f}s deadline queued "
+                    f"behind other work; retry when load drops")
             try:
                 worker.conn.send(payload)
             except (BrokenPipeError, OSError):
                 # The worker died idle (OOM-killed, operator signal):
                 # one respawn-and-retry before giving up.
-                worker.restart()
-                self.restarts += 1
+                self._recycle(worker)
                 worker.conn.send(payload)
-            if timeout is not None and not worker.conn.poll(timeout):
-                worker.restart()
-                self.restarts += 1
-                raise JobTimeout(
-                    f"job exceeded {timeout:.1f}s; worker "
-                    f"{worker.index} was recycled")
             try:
+                if deadline is not None and \
+                        not worker.conn.poll(
+                            max(0.0, deadline - time.monotonic())):
+                    self._recycle(worker)
+                    raise JobTimeout(
+                        f"job exceeded {timeout:.1f}s; worker "
+                        f"{worker.index} was recycled")
                 return worker.conn.recv()
             except (EOFError, OSError) as exc:
-                worker.restart()
-                self.restarts += 1
+                self._recycle(worker)
                 raise WorkerCrash(
                     f"worker {worker.index} died mid-job") from exc
         finally:
@@ -175,13 +199,24 @@ class WorkerPool:
     async def run(self, payload: dict,
                   timeout: float | None = None) -> dict:
         """Execute ``payload`` on a worker; raises :class:`JobTimeout`
-        or :class:`WorkerCrash` on reclaim."""
+        or :class:`WorkerCrash` on reclaim.  The deadline clock starts
+        *now* (admission), not when an I/O thread picks the job up."""
         loop = asyncio.get_running_loop()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         return await loop.run_in_executor(
-            self._threads, self._submit_sync, payload, timeout)
+            self._threads, self._submit_sync, payload, deadline,
+            timeout)
 
     def close(self) -> None:
-        """Stop every worker and the I/O threads."""
+        """Stop every worker and the I/O threads.
+
+        The closing flag goes up first: an I/O thread still blocked in
+        ``poll``/``recv`` for an in-flight job sees its pipe die, and
+        must report :class:`WorkerCrash` to its waiter rather than
+        respawn a child after shutdown.
+        """
+        self._closing = True
         for worker in self._workers:
             try:
                 worker.conn.send(None)

@@ -33,10 +33,11 @@ import json
 import os
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..envcfg import env_int
-from .cas import ContentStore
+from .cas import ContentStore, valid_key
 from .http import (ProtocolError, error_body, read_request,
                    render_response, wants_close)
 from .pool import JobTimeout, WorkerCrash, WorkerPool
@@ -162,6 +163,10 @@ class Server:
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._inflight: dict[str, _Inflight] = {}
+        # CAS disk I/O runs on these threads, never on the event loop:
+        # a slow disk or a full-store GC scan must not stall /healthz.
+        self._io = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-serve-cas")
 
     # -- lifecycle ----------------------------------------------------
 
@@ -181,6 +186,12 @@ class Server:
                 entry.task.cancel()
         if self.pool is not None:
             self.pool.close()
+        self._io.shutdown(wait=False)
+
+    async def _store_io(self, fn, *args):
+        """Run one blocking ContentStore call off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._io, fn, *args)
 
     # -- connection handling ------------------------------------------
 
@@ -228,7 +239,8 @@ class Server:
             elif path == "/metrics" and method == "GET":
                 status, body = 200, self.metrics.snapshot(self)
             elif path.startswith("/v1/store/") and method == "GET":
-                status, body = self._get_store(path[len("/v1/store/"):])
+                status, body = await self._get_store(
+                    path[len("/v1/store/"):])
             elif path == "/v1/jobs" and method == "POST":
                 status, body, headers = await self._submit(request)
             elif path in ("/healthz", "/metrics", "/v1/jobs") or \
@@ -247,8 +259,15 @@ class Server:
             body["latency_ms"] = round(latency_ms, 3)
         return status, body, headers
 
-    def _get_store(self, key: str):
-        data = self.store.get(key)
+    async def _get_store(self, key: str):
+        # The key arrives verbatim from the URL (it may contain ``/``
+        # and ``..``); only a well-formed content hash may ever reach
+        # the filesystem, else ``GET /v1/store/../../etc/x`` would
+        # read arbitrary .json files outside the store root.
+        if not valid_key(key):
+            return 404, error_body(
+                404, f"not a content key: {key[:32]!r}")
+        data = await self._store_io(self.store.get, key)
         if data is None:
             return 404, error_body(404, f"no stored result {key[:16]}…")
         return 200, data
@@ -272,7 +291,7 @@ class Server:
         key = request_key(norm)
         storable = norm["kind"] != "sleep"
         if storable:
-            hit = self.store.get(key)
+            hit = await self._store_io(self.store.get, key)
             if hit is not None:
                 self.metrics.cas_hits += 1
                 return 200, dict(hit, cached=True, coalesced=False,
@@ -319,36 +338,56 @@ class Server:
 
     async def _run_job(self, key: str, norm: dict, storable: bool,
                        future: asyncio.Future) -> None:
+        # Whatever happens — timeout, crash, a store/GC failure, even
+        # cancellation — the finally block always reclaims the inflight
+        # slot and completes the future.  An entry that outlived its job
+        # would poison the key (new requests attach to a dead future so
+        # every waiter hangs) and permanently burn a queue_limit slot.
+        payload: dict | None = None
+        error: BaseException | None = None
         try:
-            payload = await self.pool.run(
-                norm, timeout=self.config.timeout_s)
-        except JobTimeout as exc:
-            self.metrics.timeouts += 1
-            self._inflight.pop(key, None)
-            future.set_exception(exc)
-            return
-        except Exception as exc:
-            self.metrics.job_errors += 1
-            self._inflight.pop(key, None)
-            future.set_exception(exc)
-            return
-        self.metrics.jobs_executed += 1
-        if payload.get("status") != "ok":
-            self.metrics.job_errors += 1
-        elif storable:
             try:
-                self.store.put(key, payload)
-            except OSError:
-                pass  # a full disk must not fail the simulation
-            self._maybe_gc()
-        self._inflight.pop(key, None)
-        future.set_result(payload)
+                payload = await self.pool.run(
+                    norm, timeout=self.config.timeout_s)
+            except JobTimeout as exc:
+                self.metrics.timeouts += 1
+                error = exc
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.metrics.job_errors += 1
+                error = exc
+            else:
+                self.metrics.jobs_executed += 1
+                if payload.get("status") != "ok":
+                    self.metrics.job_errors += 1
+                elif storable:
+                    try:
+                        await self._store_io(self.store.put, key,
+                                             payload)
+                        await self._maybe_gc()
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:
+                        # A full disk (or an unserialisable payload
+                        # field) degrades to cache-miss behaviour; it
+                        # must never fail the finished simulation.
+                        pass
+        finally:
+            self._inflight.pop(key, None)
+            if not future.done():
+                if error is not None:
+                    future.set_exception(error)
+                elif payload is not None:
+                    future.set_result(payload)
+                else:  # the job task itself was cancelled (shutdown)
+                    future.cancel()
 
-    def _maybe_gc(self) -> None:
+    async def _maybe_gc(self) -> None:
         """Opportunistic CAS GC: every 32 stores, trim to budget."""
         budget = self.config.cas_max_bytes
         if budget and self.store.stores % 32 == 0:
-            self.store.gc(budget)
+            await self._store_io(self.store.gc, budget)
 
 
 async def serve_forever(config: ServeConfig) -> None:

@@ -33,6 +33,41 @@ class TestStoreKey:
         assert store_key({"a": 1}) != store_key({"a": 2})
 
 
+class TestKeyValidation:
+    """Only full sha256 hexdigests may ever reach the filesystem —
+    anything else (``..``, ``/``, uppercase, wrong length) would be a
+    path-traversal vector when keys arrive from a URL."""
+
+    GOOD = store_key({"x": 1})
+    BAD = ["", "abc", GOOD[:-1], GOOD + "0", GOOD.upper(),
+           "aa/../../../../etc/passwd", "../" + GOOD, GOOD[:-2] + "/x",
+           "aa/" + GOOD[3:], GOOD[:-1] + "\x00"]
+
+    def test_valid_key(self):
+        from repro.serve.cas import valid_key
+        assert valid_key(self.GOOD)
+        for key in self.BAD:
+            assert not valid_key(key), key
+
+    def test_path_refuses_bad_keys(self, tmp_path):
+        import pytest
+        store = ContentStore(tmp_path)
+        for key in self.BAD:
+            with pytest.raises(ValueError):
+                store._path(key)
+            assert store.get(key) is None      # miss, not a crash
+            assert store.contains(key) is False
+
+    def test_traversal_cannot_escape_root(self, tmp_path):
+        root = tmp_path / "store"
+        sentinel = tmp_path / "sekrit.json"
+        sentinel.write_text(json.dumps({"leak": True}))
+        store = ContentStore(root)
+        # Before validation this resolved to <root>/aa/aa/../../../
+        # sekrit.json == tmp_path/sekrit.json.
+        assert store.get("aa/../../../sekrit") is None
+
+
 class TestContentStoreGC:
     def test_evicts_lru_until_budget(self, tmp_path):
         store = ContentStore(tmp_path)

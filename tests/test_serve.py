@@ -278,6 +278,33 @@ class TestServerBasics:
                 canonical(first["result"])
         serve_scenario(scenario)(tmp_path)
 
+    def test_store_rejects_non_content_keys(self, tmp_path):
+        """GET /v1/store/<key> takes the key verbatim from the URL —
+        anything but a full sha256 hexdigest (traversal attempts
+        included) must 404 without touching the filesystem."""
+        # A .json file just outside the store root that a traversal
+        # key used to be able to address.
+        sentinel = tmp_path.parent / "serve-escape-sentinel.json"
+        sentinel.write_text(json.dumps({"leak": True}))
+
+        async def scenario(server):
+            for key in ("aa/../../../serve-escape-sentinel",
+                        "../../../../etc/passwd",
+                        "..%2f..%2fetc%2fpasswd",
+                        "abc", "A" * 64, "f" * 63, "f" * 65):
+                status, body = await roundtrip(
+                    server, None, "GET", f"/v1/store/{key}")
+                assert status == 404, key
+                assert "leak" not in canonical(body)
+            # A well-formed but absent key is still a plain 404.
+            status, body = await roundtrip(
+                server, None, "GET", f"/v1/store/{'0' * 64}")
+            assert status == 404
+        try:
+            serve_scenario(scenario)(tmp_path)
+        finally:
+            sentinel.unlink()
+
 
 class TestServerFaults:
     def test_coalesced_identical_requests_share_one_job(self, tmp_path):
@@ -348,6 +375,53 @@ class TestServerFaults:
             assert body["status"] == "error"
         serve_scenario(scenario)(tmp_path)
 
+    def test_store_failure_never_wedges_the_key(self, tmp_path):
+        """A store.put that raises (full disk, unserialisable payload
+        field) must not leak the inflight entry: the waiters still get
+        their answer and the key stays usable — a leaked entry would
+        make every identical request hang on a dead future and burn a
+        queue_limit slot forever."""
+        async def scenario(server):
+            def broken_put(key, data):
+                raise TypeError("payload not JSON-serialisable")
+            server.store.put = broken_put
+            request = {"workload": "is", "small": True,
+                       "variant": "plain"}
+            status, body = await roundtrip(server, request)
+            assert status == 200        # the simulation itself worked
+            assert server._inflight == {}
+            # The key is not poisoned: a retry re-runs (no CAS entry
+            # was ever written) and answers again.
+            status, body = await roundtrip(server, request)
+            assert status == 200
+            assert body["cached"] is False
+            assert server.metrics.jobs_executed == 2
+        serve_scenario(scenario)(tmp_path)
+
+    def test_slow_store_does_not_block_event_loop(self, tmp_path):
+        """CAS disk I/O runs off-loop: /healthz answers while another
+        request's store probe is stuck in a slow read."""
+        import time
+
+        async def scenario(server):
+            orig_get = server.store.get
+
+            def slow_get(key):
+                time.sleep(1.5)
+                return orig_get(key)
+            server.store.get = slow_get
+            probing = asyncio.ensure_future(roundtrip(
+                server, {"workload": "is", "small": True,
+                         "variant": "plain"}))
+            await asyncio.sleep(0.2)  # probe now sleeping in a thread
+            t0 = time.monotonic()
+            status, _ = await roundtrip(server, None, "GET", "/healthz")
+            assert status == 200
+            assert time.monotonic() - t0 < 1.0
+            status, _ = await probing
+            assert status == 200
+        serve_scenario(scenario)(tmp_path)
+
 
 class TestWorkerPoolUnit:
     def test_sigterm_takes_workers_down(self, tmp_path):
@@ -411,5 +485,59 @@ class TestWorkerPoolUnit:
                 assert out["status"] == "ok"
             asyncio.run(body())
             assert pool.restarts == 1
+        finally:
+            pool.close()
+
+    def test_close_does_not_respawn_midjob_worker(self):
+        """close() while a job is in flight must not restart the
+        worker: the pipe death *is* shutdown, and a respawn would leak
+        a fresh child process past close()."""
+        from repro.serve.pool import WorkerCrash
+
+        pool = WorkerPool(1)
+        pids = [w.process.pid for w in pool._workers]
+
+        async def body():
+            job = asyncio.ensure_future(pool.run(
+                {"schema": "repro-serve-request-v1", "kind": "sleep",
+                 "seconds": 30, "include": []}))
+            await asyncio.sleep(0.3)  # worker is mid-job
+            pool.close()
+            with pytest.raises(WorkerCrash):
+                await job
+        asyncio.run(body())
+        # Same (now dead) children — nothing was respawned.
+        assert [w.process.pid for w in pool._workers] == pids
+        assert all(not _alive(pid) for pid in pids)
+
+    def test_deadline_counts_queue_wait(self):
+        """The deadline clock starts at admission: a job whose budget
+        burns down queued behind other work times out there, rather
+        than getting a full fresh deadline once a thread frees up."""
+        import time
+
+        pool = WorkerPool(1)
+        try:
+            async def body():
+                slow = asyncio.ensure_future(pool.run(
+                    {"schema": "repro-serve-request-v1",
+                     "kind": "sleep", "seconds": 1.0, "include": []},
+                    timeout=30))
+                await asyncio.sleep(0.1)  # slow job holds the slot
+                with pytest.raises(JobTimeout) as err:
+                    await pool.run(
+                        {"schema": "repro-serve-request-v1",
+                         "kind": "sleep", "seconds": 30,
+                         "include": []}, timeout=0.5)
+                assert "queued" in str(err.value)
+                out = await slow
+                assert out["status"] == "ok"
+            t0 = time.monotonic()
+            asyncio.run(body())
+            # The queued job answered as soon as the slot freed
+            # (~1s), not after serving a fresh 0.5s deadline on a 30s
+            # sleep — and the worker was never touched, so no restart.
+            assert time.monotonic() - t0 < 10
+            assert pool.restarts == 0
         finally:
             pool.close()
