@@ -31,6 +31,28 @@ from .cache import RunCache, resolve_run_cache, run_key
 TELEMETRY = {"simulated_runs": 0, "cached_runs": 0,
              "simulated_instructions": 0}
 
+
+def _make_metrics():
+    from ..obs.metrics import SECONDS_BUCKETS, Registry
+    registry = Registry()
+    runs = registry.counter(
+        "repro_bench_runs_total",
+        "Bench variant runs by workload, variant, machine, and "
+        "whether the disk cache answered.",
+        labels=("workload", "variant", "machine", "cached"))
+    stages = registry.histogram(
+        "repro_bench_stage_seconds",
+        "Wall time per bench pipeline stage "
+        "(build, prepare, simulate, validate).",
+        labels=("stage",), unit="seconds", buckets=SECONDS_BUCKETS)
+    return registry, runs, stages
+
+
+#: In-process labeled metrics over the same registry machinery the
+#: serve path exposes (see docs/OBSERVABILITY.md).  ``repro bench
+#: --obs-out FILE`` writes the Prometheus text exposition after a run.
+METRICS, RUNS_COUNTER, STAGE_SECONDS = _make_metrics()
+
 #: Per-trace rows from trace-JIT runs (``REPRO_SIM_TRACEJIT=1``), each
 #: tagged with the run's workload/variant/machine — the raw material of
 #: ``repro bench --hot-report``.  In-process only: pooled workers do
@@ -101,13 +123,26 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
         the measured cycles; the ``repro-timeline-v1`` snapshot rides
         the result (and the cache key) the same way.
     """
+    import time as _time
+
+    def _staged(stage, start):
+        STAGE_SECONDS.labels(stage=stage).observe(
+            _time.perf_counter() - start)
+
+    def _finished(cached: bool):
+        RUNS_COUNTER.labels(workload=workload.name, variant=variant,
+                            machine=machine.name,
+                            cached="true" if cached else "false").inc()
+
     with span("bench", "run_variant", workload=workload.name,
               variant=variant, machine=machine.name) as job:
+        t0 = _time.perf_counter()
         with span("bench", "build", workload=workload.name,
                   variant=variant):
             module = workload.build_variant(
                 variant, lookahead=lookahead, options=options,
                 **manual_knobs)
+        _staged("build", t0)
         run_cache = resolve_run_cache(cache)
         with_telemetry = telemetry_enabled(telemetry)
         recorder = resolve_timeline(timeline)
@@ -121,8 +156,10 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
                           vector=vector_enabled(None))
             hit = run_cache.get(key)
         memory = Memory(machine.line_size)
+        t0 = _time.perf_counter()
         with span("bench", "prepare", workload=workload.name):
             prepared = workload.prepare(memory)
+        _staged("prepare", t0)
         if hit is not None:
             try:
                 out = VariantResult(**hit)
@@ -134,17 +171,23 @@ def run_variant(workload: Workload, variant: str, machine: MachineConfig,
             else:
                 job["cached"] = True
                 TELEMETRY["cached_runs"] += 1
+                _finished(cached=True)
                 return out
         job["cached"] = False
         interp = Interpreter(module, memory, machine=machine,
                              telemetry=with_telemetry,
                              timeline=recorder)
+        t0 = _time.perf_counter()
         with span("bench", "simulate", workload=workload.name,
                   variant=variant, machine=machine.name):
             result = interp.run(workload.entry, prepared.args)
+        _staged("simulate", t0)
         if validate:
+            t0 = _time.perf_counter()
             with span("bench", "validate", workload=workload.name):
                 prepared.validate()
+            _staged("validate", t0)
+        _finished(cached=False)
         ms = result.memory_system
         out = VariantResult(
             workload=workload.name,

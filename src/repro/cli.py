@@ -101,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--hot-top", type=int, default=10, metavar="N",
         help="rows in the --hot-report table (default 10)")
+    bench_cmd.add_argument(
+        "--obs-out", metavar="FILE",
+        help="after the run, write the bench metrics registry "
+             "(per-run counters, per-stage wall-time histograms) as "
+             "Prometheus text exposition to FILE")
 
     stats_cmd = sub.add_parser(
         "stats",
@@ -226,6 +231,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CAS byte budget; LRU garbage collection runs "
              "opportunistically past it (default: unbounded)")
     serve_cmd.add_argument(
+        "--log-format", default="text",
+        choices=("text", "json", "off"),
+        help="structured access/event log format, on stderr "
+             "(default text; json = one repro-serve-log-v1 object "
+             "per line)")
+    serve_cmd.add_argument(
+        "--trace-buffer", type=int, default=256, metavar="N",
+        help="request traces kept for GET /v1/trace/<id> "
+             "(default 256)")
+    serve_cmd.add_argument(
         "--debug", action="store_true", help=argparse.SUPPRESS)
 
     submit_cmd = sub.add_parser(
@@ -274,6 +289,26 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument(
         "--metrics", action="store_true",
         help="fetch /metrics instead of submitting a job")
+    submit_cmd.add_argument(
+        "--trace-out", metavar="FILE",
+        help="after the job answers, fetch its cross-process span "
+             "tree (GET /v1/trace/<request_id>) and write it as "
+             "Chrome trace-event JSON loadable at ui.perfetto.dev")
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running repro serve "
+             "(polls GET /metrics)")
+    top_cmd.add_argument(
+        "--host", default="127.0.0.1", help="server address")
+    top_cmd.add_argument(
+        "--port", type=int, default=8787, help="server port")
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="poll interval in seconds (default 2)")
+    top_cmd.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (scripts, smoke checks)")
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect and garbage-collect the result store")
@@ -518,6 +553,12 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     if args.cache_dir:
         os.environ["REPRO_SIM_CACHE_DIR"] = args.cache_dir
     print(figure(args.small, args.jobs), file=out)
+    if args.obs_out:
+        from .bench.runner import METRICS
+        with open(args.obs_out, "w") as handle:
+            handle.write(METRICS.render_prometheus())
+        print(f"wrote bench metrics exposition to {args.obs_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -673,7 +714,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue, timeout_s=args.timeout,
         cache_dir=args.cache_dir, cas_max_bytes=args.max_bytes,
-        debug=args.debug)
+        debug=args.debug, log_format=args.log_format,
+        trace_capacity=args.trace_buffer)
     if config.queue_limit < 1 or config.timeout_s <= 0:
         print("error: --queue must be >= 1 and --timeout > 0",
               file=sys.stderr)
@@ -731,7 +773,33 @@ def _cmd_submit(args: argparse.Namespace, out) -> int:
               file=sys.stderr)
         return 1
     print(json.dumps(payload, indent=2), file=out)
+    if args.trace_out:
+        from .serve.client import get_trace
+        request_id = payload.get("request_id")
+        if not request_id:
+            print("error: answer carries no request_id; cannot fetch "
+                  "a trace", file=sys.stderr)
+            return 1
+        try:
+            trace = get_trace(args.host, args.port, request_id)
+        except (OSError, ServeHTTPError) as exc:
+            print(f"error: cannot fetch trace {request_id}: {exc}",
+                  file=sys.stderr)
+            return 1
+        with open(args.trace_out, "w") as handle:
+            json.dump(trace, handle, indent=1)
+        print(f"wrote request trace {request_id} to {args.trace_out} "
+              f"(load at ui.perfetto.dev)", file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace, out) -> int:
+    from .obs.top import run_top
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    return run_top(args.host, args.port, interval_s=args.interval,
+                   once=args.once, out=out)
 
 
 def _cmd_cache(args: argparse.Namespace, out) -> int:
@@ -784,6 +852,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "submit":
         return _cmd_submit(args, out)
+    if args.command == "top":
+        return _cmd_top(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

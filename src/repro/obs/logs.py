@@ -1,0 +1,160 @@
+"""Structured access and event logging for the serving path.
+
+One line per HTTP exchange plus worker-lifecycle events, in either of
+two formats selected by ``repro serve --log-format``:
+
+* ``json`` — one JSON object per line, schema ``repro-serve-log-v1``
+  (machine-ingestible; :func:`parse_json_line` validates and decodes,
+  and the schema round-trips byte-for-byte through it);
+* ``text`` — the same record rendered human-first on one line;
+* ``off`` — no access logging.
+
+Records always carry ``schema``, ``event``, and ``ts`` (unix seconds);
+``request`` events add ``request_id``, ``method``, ``path``,
+``status``, ``latency_ms`` and optionally ``outcome`` (fresh |
+coalesced | cached | shed | timeout | error), ``key``, ``workload``,
+``tier``, and per-stage timings.  Worker events (``worker_start``,
+``worker_restart``, ``pool_close``, …) carry whatever identifies the
+worker (index, pid).  Lines go to stderr so the stdout banner that
+``tools/load_test.py --spawn`` parses stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+LOG_SCHEMA = "repro-serve-log-v1"
+
+#: Known event kinds.  ``request`` is the access log; the rest are
+#: lifecycle events.
+EVENTS = ("request", "server_start", "server_stop", "worker_start",
+          "worker_restart", "pool_close", "cas_gc")
+
+#: Fields every record carries.
+REQUIRED_FIELDS = ("schema", "event", "ts")
+
+#: Additional fields required on ``request`` records.
+REQUEST_FIELDS = ("request_id", "method", "path", "status",
+                  "latency_ms")
+
+FORMATS = ("text", "json", "off")
+
+
+class LogFormatError(ValueError):
+    """A log line failed schema validation."""
+
+
+def make_record(event: str, clock=time.time, **fields) -> dict:
+    """Assemble one validated log record."""
+    if event not in EVENTS:
+        raise LogFormatError(f"unknown log event {event!r}")
+    record = {"schema": LOG_SCHEMA, "event": event,
+              "ts": round(clock(), 6)}
+    record.update({k: v for k, v in fields.items() if v is not None})
+    if event == "request":
+        missing = [f for f in REQUEST_FIELDS if f not in record]
+        if missing:
+            raise LogFormatError(
+                f"request record missing field(s) {missing}")
+    return record
+
+
+def format_json(record: dict) -> str:
+    """One-line JSON form (sorted keys: byte-stable round-trips)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def format_text(record: dict) -> str:
+    """Human-first one-line form of the same record."""
+    ts = time.strftime("%Y-%m-%dT%H:%M:%S",
+                       time.gmtime(record["ts"]))
+    frac = int(round((record["ts"] % 1) * 1e3))
+    head = f"{ts}.{frac:03d}Z"
+    if record["event"] == "request":
+        parts = [head, f"rid={record['request_id']}",
+                 f"\"{record['method']} {record['path']}\"",
+                 str(record["status"]),
+                 f"{record['latency_ms']:.1f}ms"]
+        for name in ("outcome", "workload", "tier"):
+            if name in record:
+                parts.append(f"{name}={record[name]}")
+        if "key" in record and record["key"]:
+            parts.append(f"key={record['key'][:12]}…")
+        return " ".join(parts)
+    parts = [head, record["event"]]
+    for name, value in sorted(record.items()):
+        if name in ("schema", "event", "ts"):
+            continue
+        parts.append(f"{name}={value}")
+    return " ".join(parts)
+
+
+def parse_json_line(line: str) -> dict:
+    """Decode and validate one JSON log line.
+
+    Raises :class:`LogFormatError` on anything that is not a
+    well-formed ``repro-serve-log-v1`` record; the access-log schema
+    round-trip test is ``parse_json_line(format_json(r)) == r``.
+    """
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise LogFormatError(f"not JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise LogFormatError("log line is not an object")
+    if record.get("schema") != LOG_SCHEMA:
+        raise LogFormatError(
+            f"schema {record.get('schema')!r} != {LOG_SCHEMA}")
+    missing = [f for f in REQUIRED_FIELDS if f not in record]
+    if missing:
+        raise LogFormatError(f"missing field(s) {missing}")
+    if record["event"] not in EVENTS:
+        raise LogFormatError(f"unknown event {record['event']!r}")
+    if record["event"] == "request":
+        missing = [f for f in REQUEST_FIELDS if f not in record]
+        if missing:
+            raise LogFormatError(
+                f"request record missing field(s) {missing}")
+        if not isinstance(record["status"], int) or \
+                isinstance(record["status"], bool):
+            raise LogFormatError("field 'status' must be int")
+        if not isinstance(record["latency_ms"], (int, float)) or \
+                isinstance(record["latency_ms"], bool):
+            raise LogFormatError("field 'latency_ms' must be a number")
+    return record
+
+
+class AccessLogger:
+    """Emit structured log records to a stream.
+
+    ``fmt`` is one of :data:`FORMATS`; ``off`` swallows everything.
+    Safe to call from the pool's I/O threads — each record is a single
+    ``write`` of one line.
+    """
+
+    def __init__(self, fmt: str = "text", stream=None, clock=time.time):
+        if fmt not in FORMATS:
+            raise ValueError(f"log format must be one of {FORMATS}, "
+                             f"got {fmt!r}")
+        self.fmt = fmt
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+
+    def emit(self, event: str, **fields) -> dict:
+        """Build, render, and write one record; returns the record."""
+        record = make_record(event, clock=self.clock, **fields)
+        if self.fmt == "off":
+            return record
+        line = (format_json(record) if self.fmt == "json"
+                else format_text(record))
+        try:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead log stream must never take the server down
+        return record
+
+    def request(self, **fields) -> dict:
+        return self.emit("request", **fields)

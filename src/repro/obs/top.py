@@ -1,0 +1,122 @@
+"""``repro top`` — a live terminal dashboard over ``GET /metrics``.
+
+Polls the JSON snapshot (``repro-serve-metrics-v1``) on an interval
+and renders one frame per poll: request rate (from the delta between
+consecutive snapshots), queue depth, coalesce/CAS hit rates, worker
+restarts, p50/p99 per pipeline stage, and the busiest
+{workload, tier, status} request labels.  Pure renderer + polling
+loop — all the numbers come from the server's metrics registry, so
+anything ``repro top`` shows is also in Prometheus.
+
+``--once`` prints a single frame and exits (scripts, CI smoke);
+otherwise the screen is redrawn in place until Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _rate(now: dict, prev: dict | None, interval_s: float | None) -> str:
+    if prev is None or not interval_s:
+        return "    -- req/s"
+    delta = (now["requests"]["total"] - prev["requests"]["total"])
+    return f"{delta / interval_s:8.1f} req/s"
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    -%"
+
+
+def render(snapshot: dict, prev: dict | None = None,
+           interval_s: float | None = None,
+           address: str = "", top_labels: int = 8) -> str:
+    """Render one dashboard frame from a metrics snapshot."""
+    requests = snapshot["requests"]
+    total = requests["total"]
+    jobs = snapshot["jobs"]
+    cas = snapshot["cas"]
+    queue = snapshot["queue"]
+    workers = snapshot["workers"]
+    latency = snapshot["latency_ms"]
+    lines = [
+        f"repro top — {address}   up {snapshot['uptime_s']:.0f}s   "
+        f"workers {workers['count']} "
+        f"(restarts {workers['restarts']})   "
+        f"queue {queue['depth']}/{queue['limit']}",
+        f"requests  {total} total   "
+        f"{_rate(snapshot, prev, interval_s)}   "
+        f"shed {jobs['shed']}   errors {jobs['errors']}   "
+        f"timeouts {jobs['timeouts']}",
+        f"sharing   coalesce {_pct(snapshot['coalesce_hits'], total)}"
+        f"   cas {_pct(cas['hits'], total)}   "
+        f"executed {jobs['executed']}   stores {cas['stores']}",
+        f"latency   p50 {latency['p50']:.1f} ms   "
+        f"p99 {latency['p99']:.1f} ms   max {latency['max']:.1f} ms"
+        f"   ({latency['count']} samples)",
+        "",
+    ]
+    stages = snapshot.get("stages", {})
+    if stages:
+        lines.append(f"{'stage':<12}{'count':>8}{'p50 ms':>12}"
+                     f"{'p99 ms':>12}{'max ms':>12}")
+        for stage, row in stages.items():
+            lines.append(f"{stage:<12}{row['count']:>8}"
+                         f"{row['p50']:>12.2f}{row['p99']:>12.2f}"
+                         f"{row['max']:>12.2f}")
+        lines.append("")
+    by_label = sorted(requests.get("by_label", []),
+                      key=lambda r: (-r["count"], r["workload"],
+                                     r["tier"], r["status"]))
+    if by_label:
+        lines.append(f"{'workload':<12}{'tier':<10}{'status':>7}"
+                     f"{'count':>8}")
+        for row in by_label[:top_labels]:
+            lines.append(f"{row['workload']:<12}{row['tier']:<10}"
+                         f"{row['status']:>7}{row['count']:>8}")
+        if len(by_label) > top_labels:
+            lines.append(f"… {len(by_label) - top_labels} more label "
+                         f"combinations")
+    status = dict(sorted(requests.get("by_status", {}).items()))
+    if status:
+        lines.append("by status  " + "  ".join(
+            f"{code}:{count}" for code, count in status.items()))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(host: str, port: int, interval_s: float = 2.0,
+            once: bool = False, iterations: int | None = None,
+            out=None, clear: bool = True) -> int:
+    """The polling loop behind ``repro top``; returns an exit code."""
+    from ..serve.client import get_metrics
+
+    out = out if out is not None else sys.stdout
+    address = f"{host}:{port}"
+    prev = None
+    ticks = 0
+    while True:
+        try:
+            snapshot = get_metrics(host, port)
+        except OSError as exc:
+            print(f"repro top: cannot reach {address}: {exc}",
+                  file=sys.stderr)
+            return 1
+        frame = render(snapshot, prev,
+                       interval_s if prev is not None else None,
+                       address=address)
+        if once or not clear:
+            out.write(frame)
+        else:
+            out.write(CLEAR + frame)
+        out.flush()
+        prev = snapshot
+        ticks += 1
+        if once or (iterations is not None and ticks >= iterations):
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0

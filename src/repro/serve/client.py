@@ -136,3 +136,25 @@ def get_metrics(host: str, port: int, timeout: float = 30.0) -> dict:
     if status != 200:
         raise ServeHTTPError(status, body)
     return body
+
+
+def get_metrics_text(host: str, port: int,
+                     timeout: float = 30.0) -> str:
+    """Blocking ``GET /metrics?format=prometheus`` (text exposition)."""
+    status, body = _one_shot(host, port,
+                             "GET", "/metrics?format=prometheus",
+                             None, timeout)
+    if status != 200:
+        raise ServeHTTPError(status, body)
+    return body["raw"] if isinstance(body, dict) else body
+
+
+def get_trace(host: str, port: int, request_id: str,
+              timeout: float = 30.0) -> dict:
+    """Blocking ``GET /v1/trace/<request_id>`` — the request's
+    cross-process span tree as a Perfetto-loadable document."""
+    status, body = _one_shot(host, port, "GET",
+                             f"/v1/trace/{request_id}", None, timeout)
+    if status != 200:
+        raise ServeHTTPError(status, body)
+    return body

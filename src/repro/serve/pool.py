@@ -51,6 +51,7 @@ def _worker_main(conn, index: int) -> None:
         pass
     # Import here, not at module top: under the spawn start method the
     # child imports this module before repro's heavyweight packages.
+    from ..telemetry.spans import SpanRecorder
     from .protocol import execute_request
     parent = os.getppid()
     while True:
@@ -68,13 +69,28 @@ def _worker_main(conn, index: int) -> None:
             break
         if job is None:
             break
+        # The server may wrap the job with an observability context
+        # ({"_obs": {...}, "job": <canonical request>}); a traced job
+        # executes under a SpanRecorder whose records travel back in
+        # the out-of-band ``_trace`` section (the server strips it
+        # before the payload reaches the CAS or any client).
+        obs = None
+        if isinstance(job, dict) and "_obs" in job:
+            obs = job["_obs"]
+            job = job["job"]
+        recorder = (SpanRecorder()
+                    if obs is not None and obs.get("trace") else None)
         try:
-            out = execute_request(job)
+            out = execute_request(job, recorder=recorder)
         except BaseException as exc:
             out = {"schema": "repro-serve-result-v1", "status": "error",
                    "code": 500,
                    "error": f"{type(exc).__name__}: {exc}",
                    "traceback": traceback.format_exc()}
+        if recorder is not None and isinstance(out, dict):
+            out["_trace"] = {
+                "worker_spans": recorder.snapshot()["records"],
+                "worker": index, "pid": os.getpid()}
         try:
             conn.send(out)
         except (BrokenPipeError, OSError):
@@ -131,19 +147,34 @@ class _Worker:
 class WorkerPool:
     """Fixed-size pool of simulation workers with deadline enforcement."""
 
-    def __init__(self, workers: int, context: str | None = None):
+    def __init__(self, workers: int, context: str | None = None,
+                 on_event=None):
         ctx = (multiprocessing.get_context(context) if context
                else _default_context())
         self.size = max(1, workers)
+        #: Optional lifecycle callback ``on_event(event, **fields)``
+        #: (worker_start / worker_restart / pool_close).  Called from
+        #: whatever thread hits the event; implementations must be
+        #: thread-safe and must never raise.
+        self.on_event = on_event
         self._workers = [_Worker(ctx, i) for i in range(self.size)]
         self._idle: queue.Queue[_Worker] = queue.Queue()
         for worker in self._workers:
             self._idle.put(worker)
+            self._event("worker_start", worker=worker.index,
+                        pid=worker.process.pid)
         self._threads = ThreadPoolExecutor(
             max_workers=self.size, thread_name_prefix="repro-serve-io")
         #: Workers killed for blowing their deadline (metrics).
         self.restarts = 0
         self._closing = False
+
+    def _event(self, event: str, **fields) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(event, **fields)
+            except Exception:  # pragma: no cover - observer bug
+                pass
 
     def _recycle(self, worker: _Worker) -> None:
         """Respawn a dead or wedged worker — unless the pool is
@@ -154,9 +185,12 @@ class WorkerPool:
                               f"{worker.index} not restarted")
         worker.restart()
         self.restarts += 1
+        self._event("worker_restart", worker=worker.index,
+                    pid=worker.process.pid)
 
     def _submit_sync(self, payload: dict, deadline: float | None,
-                     timeout: float | None) -> dict:
+                     timeout: float | None,
+                     obs: dict | None = None) -> dict:
         """Blocking submit, run on a pool I/O thread.
 
         ``deadline`` is absolute (``time.monotonic``), stamped at
@@ -165,7 +199,18 @@ class WorkerPool:
         client-visible latency really is bounded by the advertised
         per-request deadline.
         """
+        queued_at = time.monotonic()
         worker = self._idle.get()
+        if obs is not None:
+            # Queue wait plus trace context ride to the worker in an
+            # ``_obs`` envelope; workers unwrap it (bare payloads — the
+            # non-traced path and direct pool users — pass through
+            # untouched, keeping the wire format backward-compatible).
+            obs["queue_ms"] = (time.monotonic() - queued_at) * 1e3
+            if obs.get("trace"):
+                payload = {"_obs": {"trace": True,
+                                    "request_id": obs.get("request_id")},
+                           "job": payload}
         try:
             if deadline is not None and time.monotonic() >= deadline:
                 # The budget burned down in the queue; the worker was
@@ -197,16 +242,23 @@ class WorkerPool:
             self._idle.put(worker)
 
     async def run(self, payload: dict,
-                  timeout: float | None = None) -> dict:
+                  timeout: float | None = None,
+                  obs: dict | None = None) -> dict:
         """Execute ``payload`` on a worker; raises :class:`JobTimeout`
         or :class:`WorkerCrash` on reclaim.  The deadline clock starts
-        *now* (admission), not when an I/O thread picks the job up."""
+        *now* (admission), not when an I/O thread picks the job up.
+
+        ``obs`` (optional, mutated in place) is the observability
+        context: on return ``obs["queue_ms"]`` holds the measured
+        idle-slot wait, and ``obs["trace"] = True`` asks the worker to
+        record execution spans (returned via the result's ``_trace``
+        section)."""
         loop = asyncio.get_running_loop()
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
         return await loop.run_in_executor(
             self._threads, self._submit_sync, payload, deadline,
-            timeout)
+            timeout, obs)
 
     def close(self) -> None:
         """Stop every worker and the I/O threads.
@@ -217,6 +269,7 @@ class WorkerPool:
         respawn a child after shutdown.
         """
         self._closing = True
+        self._event("pool_close", workers=self.size)
         for worker in self._workers:
             try:
                 worker.conn.send(None)

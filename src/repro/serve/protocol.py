@@ -294,24 +294,35 @@ def _execute_compile(norm: dict) -> dict:
     return out
 
 
-def execute_request(norm: dict) -> dict:
+def execute_request(norm: dict, recorder=None) -> dict:
     """Run one canonical request to completion (worker process).
 
     Returns the ``repro-serve-result-v1`` payload.  Compile errors in
     client-supplied source are reported as ``status: "error"`` with
     ``code: 400`` (the client's fault); anything else unexpected is the
     caller's job to catch.
+
+    ``recorder`` optionally supplies an external
+    :class:`~repro.telemetry.spans.SpanRecorder` (the pool passes one
+    for traced requests) — it is installed for the run but its records
+    are *not* added to the payload unless the request also asked for
+    ``include: ["spans"]``, so the client-visible result is identical
+    with and without tracing.
     """
+    from contextlib import ExitStack
+
     from ..remarks import RemarkEmitter, collecting
     from ..remarks.serialize import remark_to_dict
-    from ..telemetry.spans import SpanRecorder, recording
+    from ..telemetry.spans import SpanRecorder, recording, span
 
     include = norm.get("include", [])
+    want_spans = "spans" in include
     start = time.perf_counter()
     payload: dict = {"schema": SCHEMA_RESULT, "status": "ok",
                      "kind": norm["kind"]}
     emitter = RemarkEmitter() if "remarks" in include else None
-    recorder = SpanRecorder() if "spans" in include else None
+    if recorder is None and want_spans:
+        recorder = SpanRecorder()
 
     def body():
         if norm["kind"] == "sleep":
@@ -322,16 +333,16 @@ def execute_request(norm: dict) -> dict:
         return _execute_simulate(norm, include)
 
     try:
-        if emitter is not None and recorder is not None:
-            with collecting(emitter), recording(recorder):
-                payload["result"] = body()
-        elif emitter is not None:
-            with collecting(emitter):
-                payload["result"] = body()
-        elif recorder is not None:
-            with recording(recorder):
-                payload["result"] = body()
-        else:
+        with ExitStack() as stack:
+            if emitter is not None:
+                stack.enter_context(collecting(emitter))
+            if recorder is not None:
+                stack.enter_context(recording(recorder))
+                # A top-level span guarantees every traced job shows at
+                # least one worker-side record (sleep jobs have no
+                # instrumented interior).
+                stack.enter_context(
+                    span("serve", "execute", kind=norm["kind"]))
             payload["result"] = body()
     except Exception as exc:
         if norm["kind"] == "compile":
@@ -342,7 +353,7 @@ def execute_request(norm: dict) -> dict:
         raise
     if emitter is not None:
         payload["remarks"] = [remark_to_dict(r) for r in emitter]
-    if recorder is not None:
+    if want_spans:
         payload["spans"] = recorder.snapshot()
     payload["wall_ms"] = round(
         (time.perf_counter() - start) * 1e3, 3)

@@ -20,8 +20,21 @@ Request lifecycle (``POST /v1/jobs``):
    answers 504.  Successful results are stored to the CAS before the
    waiters are woken.
 
-``GET /metrics`` exports the counters (requests by status, coalesce and
-CAS hits, queue depth, worker restarts, p50/p99 latency);
+Observability (docs/OBSERVABILITY.md):
+
+* ``GET /metrics`` — the JSON snapshot (``repro-serve-metrics-v1``);
+  ``GET /metrics?format=prometheus`` — the same registry in Prometheus
+  text exposition.  Both are views over one labeled
+  :class:`~repro.obs.metrics.Registry` (per-{workload, tier, status}
+  request counters, per-stage latency histograms).
+* Every HTTP exchange gets a request id (``X-Request-Id``); job
+  submissions additionally record a cross-process span tree —
+  server-side stage spans merged with the pool worker's spans —
+  served as a Perfetto-loadable document by
+  ``GET /v1/trace/<request_id>``.
+* One structured access-log line per exchange plus lifecycle events
+  (``--log-format json|text|off``), on stderr.
+
 ``GET /healthz`` is a liveness probe; ``GET /v1/store/<key>`` reads a
 stored result back by key.
 """
@@ -32,11 +45,14 @@ import asyncio
 import json
 import os
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..envcfg import env_int
+from ..obs.logs import AccessLogger
+from ..obs.metrics import LATENCY_BUCKETS_MS, Registry
+from ..obs.trace import (DEFAULT_CAPACITY, RequestSpans, TraceBuffer,
+                         make_record, new_request_id, worker_stage_ms)
 from .cas import ContentStore, valid_key
 from .http import (ProtocolError, error_body, read_request,
                    render_response, wants_close)
@@ -78,6 +94,10 @@ class ServeConfig:
     mp_context: str | None = None
     #: Accept debug 'sleep' jobs (tests only).
     debug: bool = False
+    #: Access/event log format: ``text`` | ``json`` | ``off``.
+    log_format: str = "text"
+    #: Request-trace buffer capacity (``GET /v1/trace/<id>``).
+    trace_capacity: int = DEFAULT_CAPACITY
 
     def resolved_store_dir(self) -> str:
         return (self.cache_dir
@@ -85,42 +105,220 @@ class ServeConfig:
                 or DEFAULT_STORE_DIR)
 
 
-class Metrics:
-    """Service counters plus a bounded latency reservoir."""
+#: Pipeline stages with their own latency histogram series.
+STAGES = ("admission", "probe", "queue", "worker", "compile",
+          "simulate", "store")
 
-    def __init__(self, reservoir: int = 8192):
-        self.started = time.time()
-        self.requests_total = 0
-        self.by_status: dict[str, int] = {}
-        self.coalesce_hits = 0
-        self.cas_hits = 0
-        self.jobs_executed = 0
-        self.job_errors = 0
-        self.timeouts = 0
-        self.shed = 0
-        self._latencies: deque[float] = deque(maxlen=reservoir)
+#: Path → bounded ``route`` label (raw paths would be unbounded
+#: cardinality — every bad URL a new series).
+_ROUTES = {"/healthz": "/healthz", "/metrics": "/metrics",
+           "/v1/jobs": "/v1/jobs"}
 
-    def observe(self, status: int, latency_ms: float) -> None:
-        self.requests_total += 1
-        self.by_status[str(status)] = \
-            self.by_status.get(str(status), 0) + 1
-        self._latencies.append(latency_ms)
 
-    def percentile(self, pct: float) -> float:
-        if not self._latencies:
-            return 0.0
-        ordered = sorted(self._latencies)
-        rank = max(0, min(len(ordered) - 1,
-                          round(pct / 100.0 * len(ordered)) - 1))
-        return ordered[rank]
+def route_label(path: str) -> str:
+    if path in _ROUTES:
+        return _ROUTES[path]
+    if path.startswith("/v1/store/"):
+        return "/v1/store/:key"
+    if path.startswith("/v1/trace/"):
+        return "/v1/trace/:id"
+    return "other"
+
+
+class ServeMetrics:
+    """The service's labeled metrics registry plus snapshot assembly.
+
+    Replaces the old bounded-reservoir ``Metrics``: histograms are
+    fixed bucket vectors with an **all-time running max** (the
+    reservoir forgot its max once 8192 newer samples displaced it),
+    nothing is sorted at scrape time, and ``uptime_s`` counts on the
+    monotonic clock (wall-clock steps used to show up as uptime
+    jumps).  The legacy integer attributes (``cas_hits``,
+    ``coalesce_hits``, …) remain readable as plain ints.
+    """
+
+    def __init__(self):
+        self.started = time.time()          # wall, informational only
+        self._started_monotonic = time.monotonic()
+        r = self.registry = Registry()
+        self.uptime_gauge = r.gauge(
+            "repro_serve_uptime_seconds",
+            "Seconds since server start (monotonic clock).",
+            unit="seconds")
+        self.http_requests = r.counter(
+            "repro_serve_http_requests_total",
+            "HTTP exchanges by method, route, and status.",
+            labels=("method", "route", "status"))
+        self.job_requests = r.counter(
+            "repro_serve_requests_total",
+            "Job submissions by workload, execution tier, and status.",
+            labels=("workload", "tier", "status"))
+        self.latency = r.histogram(
+            "repro_serve_request_latency_ms",
+            "End-to-end HTTP request latency.",
+            unit="milliseconds", buckets=LATENCY_BUCKETS_MS)
+        self.stage_latency = r.histogram(
+            "repro_serve_stage_latency_ms",
+            "Per-stage request latency (admission, probe, queue, "
+            "worker, compile, simulate, store).",
+            labels=("stage",), unit="milliseconds",
+            buckets=LATENCY_BUCKETS_MS)
+        self._coalesce = r.counter(
+            "repro_serve_coalesce_hits_total",
+            "Requests answered by joining an identical in-flight job.")
+        self._cas_hits = r.counter(
+            "repro_serve_cas_hits_total",
+            "Requests answered from the content-addressed store.")
+        self._cas_misses = r.counter(
+            "repro_serve_cas_misses_total",
+            "Store probes that found nothing.")
+        self._cas_stores = r.counter(
+            "repro_serve_cas_stores_total",
+            "Results written to the content-addressed store.")
+        self._executed = r.counter(
+            "repro_serve_jobs_executed_total",
+            "Jobs run to completion on a pool worker.")
+        self._job_errors = r.counter(
+            "repro_serve_job_errors_total",
+            "Jobs that failed (worker crash or error payload).")
+        self._timeouts = r.counter(
+            "repro_serve_job_timeouts_total",
+            "Jobs killed for exceeding the per-request deadline.")
+        self._shed = r.counter(
+            "repro_serve_jobs_shed_total",
+            "Submissions rejected with 429 at the queue limit.")
+        self._restarts = r.counter(
+            "repro_serve_worker_restarts_total",
+            "Pool workers killed and respawned.")
+        self.queue_depth = r.gauge(
+            "repro_serve_queue_depth", "Distinct jobs in flight.")
+        self.queue_limit = r.gauge(
+            "repro_serve_queue_limit",
+            "Max distinct jobs in flight before load shedding.")
+        self.workers_gauge = r.gauge(
+            "repro_serve_workers", "Pool worker processes.")
+        self.traces_gauge = r.gauge(
+            "repro_serve_traces_buffered",
+            "Request traces currently held in the trace buffer.")
+        for stage in STAGES:  # pre-create: catalogue check sees all
+            self.stage_latency.labels(stage=stage)
+
+    # -- observation hooks --------------------------------------------
+
+    def observe(self, status: int, latency_ms: float,
+                method: str = "-", route: str = "-") -> None:
+        self.http_requests.labels(method=method, route=route,
+                                  status=str(status)).inc()
+        self.latency.labels().observe(latency_ms)
+
+    def observe_job(self, norm: dict, status: int) -> None:
+        self.job_requests.labels(
+            workload=norm.get("workload", "-"),
+            tier=norm.get("tier", "-"), status=str(status)).inc()
+
+    def observe_stages(self, stage_ms: dict) -> None:
+        for stage, ms in stage_ms.items():
+            if stage in STAGES:
+                self.stage_latency.labels(stage=stage).observe(ms)
+
+    def coalesce_hit(self) -> None:
+        self._coalesce.inc()
+
+    def cas_hit(self) -> None:
+        self._cas_hits.inc()
+
+    def job_executed(self) -> None:
+        self._executed.inc()
+
+    def job_error(self) -> None:
+        self._job_errors.inc()
+
+    def timeout(self) -> None:
+        self._timeouts.inc()
+
+    def shed_one(self) -> None:
+        self._shed.inc()
+
+    # -- legacy integer views (tests, tools/load_test.py) -------------
+
+    @property
+    def requests_total(self) -> int:
+        return int(self.http_requests.value)
+
+    @property
+    def by_status(self) -> dict:
+        out: dict[str, int] = {}
+        for child in self.http_requests.children():
+            status = child.labelvalues[2]
+            out[status] = out.get(status, 0) + child.value
+        return out
+
+    @property
+    def coalesce_hits(self) -> int:
+        return int(self._coalesce.value)
+
+    @property
+    def cas_hits(self) -> int:
+        return int(self._cas_hits.value)
+
+    @property
+    def jobs_executed(self) -> int:
+        return int(self._executed.value)
+
+    @property
+    def job_errors(self) -> int:
+        return int(self._job_errors.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # -- exposition ---------------------------------------------------
+
+    def sync(self, server: "Server") -> None:
+        """Refresh scrape-time values: gauges, plus counters whose
+        source of truth lives elsewhere (store, pool)."""
+        self.uptime_gauge.set(round(self.uptime_s(), 3))
+        self.queue_depth.set(len(server._inflight))
+        self.queue_limit.set(server.config.queue_limit)
+        self.workers_gauge.set(server.pool.size if server.pool else 0)
+        self.traces_gauge.set(len(server.traces))
+        self._cas_misses.labels().set_from(server.store.misses)
+        self._cas_stores.labels().set_from(server.store.stores)
+        if server.pool is not None:
+            self._restarts.labels().set_from(server.pool.restarts)
+
+    def _histogram_row(self, child) -> dict:
+        return {"count": child.count,
+                "p50": round(child.quantile(0.50), 3),
+                "p99": round(child.quantile(0.99), 3),
+                "max": round(child.max, 3)}
 
     def snapshot(self, server: "Server") -> dict:
+        self.sync(server)
+        by_label = [
+            {"workload": c.labelvalues[0], "tier": c.labelvalues[1],
+             "status": c.labelvalues[2], "count": c.value}
+            for c in self.job_requests.children()]
+        latency = self.latency.labels()
+        stages = {
+            child.labelvalues[0]: self._histogram_row(child)
+            for child in self.stage_latency.children()
+            if child.count}
         return {
             "schema": "repro-serve-metrics-v1",
-            "uptime_s": round(time.time() - self.started, 3),
+            "uptime_s": round(self.uptime_s(), 3),
             "requests": {"total": self.requests_total,
                          "by_status": dict(sorted(
-                             self.by_status.items()))},
+                             self.by_status.items())),
+                         "by_label": by_label},
             "coalesce_hits": self.coalesce_hits,
             "cas": {"hits": self.cas_hits,
                     "misses": server.store.misses,
@@ -134,12 +332,15 @@ class Metrics:
             "workers": {"count": server.pool.size if server.pool else 0,
                         "restarts": (server.pool.restarts
                                      if server.pool else 0)},
-            "latency_ms": {"count": len(self._latencies),
-                           "p50": round(self.percentile(50), 3),
-                           "p99": round(self.percentile(99), 3),
-                           "max": round(max(self._latencies), 3)
-                                  if self._latencies else 0.0},
+            "latency_ms": self._histogram_row(latency),
+            "stages": stages,
+            "traces": {"buffered": len(server.traces),
+                       "capacity": server.traces.capacity},
         }
+
+    def render_prometheus(self, server: "Server") -> str:
+        self.sync(server)
+        return self.registry.render_prometheus()
 
 
 @dataclass
@@ -147,8 +348,16 @@ class _Inflight:
     """One admitted job: the future every coalesced waiter awaits."""
 
     future: asyncio.Future
+    #: Request id of the admitting waiter (names the shared job).
+    request_id: str = ""
+    #: ``time.perf_counter()`` at job creation — coalesced waiters
+    #: place the job section on their own timelines from this.
+    started: float = 0.0
     waiters: int = 1
     task: asyncio.Task | None = field(default=None, compare=False)
+    #: Filled by the job task on completion: the shared trace section
+    #: (server-side job spans + worker spans) every waiter merges.
+    job_info: dict | None = field(default=None, compare=False)
 
 
 class Server:
@@ -158,7 +367,9 @@ class Server:
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.store = ContentStore(self.config.resolved_store_dir())
-        self.metrics = Metrics()
+        self.metrics = ServeMetrics()
+        self.traces = TraceBuffer(self.config.trace_capacity)
+        self.log = AccessLogger(self.config.log_format)
         self.pool: WorkerPool | None = None
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -172,12 +383,17 @@ class Server:
 
     async def start(self) -> None:
         workers = self.config.workers or default_workers()
-        self.pool = WorkerPool(workers, context=self.config.mp_context)
+        self.pool = WorkerPool(workers, context=self.config.mp_context,
+                               on_event=self.log.emit)
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self.log.emit("server_start", host=self.config.host,
+                      port=self.port, workers=self.pool.size)
 
     async def close(self) -> None:
+        self.log.emit("server_stop", uptime_s=round(
+            self.metrics.uptime_s(), 3))
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -231,20 +447,30 @@ class Server:
     async def _route(self, request: dict):
         """Dispatch one parsed request → (status, body, headers)."""
         method, path = request["method"], request["path"]
+        request_id = new_request_id()
         start = time.perf_counter()
         headers: dict = {}
+        log_ctx: dict = {}
         try:
             if path == "/healthz" and method == "GET":
                 status, body = 200, {"status": "ok"}
             elif path == "/metrics" and method == "GET":
-                status, body = 200, self.metrics.snapshot(self)
+                if request["query"].get("format") == "prometheus":
+                    status = 200
+                    body = self.metrics.render_prometheus(self)
+                else:
+                    status, body = 200, self.metrics.snapshot(self)
+            elif path.startswith("/v1/trace/") and method == "GET":
+                status, body = self._get_trace(
+                    path[len("/v1/trace/"):])
             elif path.startswith("/v1/store/") and method == "GET":
                 status, body = await self._get_store(
                     path[len("/v1/store/"):])
             elif path == "/v1/jobs" and method == "POST":
-                status, body, headers = await self._submit(request)
+                status, body, headers = await self._submit(
+                    request, request_id, log_ctx)
             elif path in ("/healthz", "/metrics", "/v1/jobs") or \
-                    path.startswith("/v1/store/"):
+                    path.startswith(("/v1/store/", "/v1/trace/")):
                 status = 405
                 body = error_body(405, f"{method} not allowed on {path}")
             else:
@@ -254,10 +480,26 @@ class Server:
             status = 500
             body = error_body(500, f"{type(exc).__name__}: {exc}")
         latency_ms = (time.perf_counter() - start) * 1e3
-        self.metrics.observe(status, latency_ms)
+        self.metrics.observe(status, latency_ms, method=method,
+                             route=route_label(path))
         if isinstance(body, dict) and body.get("status") == "ok":
             body["latency_ms"] = round(latency_ms, 3)
+            body["request_id"] = request_id
+        headers = dict(headers, **{"X-Request-Id": request_id})
+        self.log.request(request_id=request_id, method=method,
+                         path=path, status=status,
+                         latency_ms=round(latency_ms, 3), **log_ctx)
         return status, body, headers
+
+    def _get_trace(self, request_id: str):
+        from ..telemetry.perfetto import build_request_trace
+
+        record = self.traces.get(request_id)
+        if record is None:
+            return 404, error_body(
+                404, f"no trace for request {request_id[:32]!r} "
+                     f"(buffer holds {len(self.traces)})")
+        return 200, build_request_trace(record)
 
     async def _get_store(self, key: str):
         # The key arrives verbatim from the URL (it may contain ``/``
@@ -274,7 +516,36 @@ class Server:
 
     # -- job submission -----------------------------------------------
 
-    async def _submit(self, request: dict):
+    def _finish_submit(self, request_id: str, spans: RequestSpans,
+                       norm: dict, key: str | None, status: int,
+                       outcome: str, log_ctx: dict,
+                       entry: _Inflight | None = None) -> None:
+        """Register the waiter's trace record and per-stage samples.
+
+        Called once per submission, on every outcome.  Coalesced
+        waiters each get their own record (distinct request ids) that
+        embeds the *shared* job section, offset onto this waiter's
+        timeline (clamped at 0 for waiters that joined after the job
+        started)."""
+        job = None
+        if entry is not None and entry.job_info is not None:
+            offset = max(0, int((entry.started - spans.epoch) * 1e6))
+            job = dict(entry.job_info, start_offset_us=offset)
+        self.metrics.observe_job(norm, status)
+        self.metrics.observe_stages(spans.stage_ms())
+        self.traces.put(make_record(
+            request_id, key=key, kind=norm["kind"],
+            workload=norm.get("workload", "-"),
+            tier=norm.get("tier", "-"), status=status,
+            outcome=outcome, server_spans=spans.records, job=job))
+        log_ctx.update(outcome=outcome, key=key,
+                       workload=norm.get("workload"),
+                       tier=norm.get("tier"))
+
+    async def _submit(self, request: dict, request_id: str,
+                      log_ctx: dict):
+        spans = RequestSpans()
+        admit_start = spans.now_us()
         try:
             raw = json.loads(request["body"] or b"")
         except ValueError:
@@ -287,84 +558,128 @@ class Server:
             norm = normalize_request(raw, debug=self.config.debug)
         except RequestError as exc:
             return 400, error_body(400, str(exc)), {}
+        spans.span("admission", admit_start,
+                   {"kind": norm["kind"]})
 
         key = request_key(norm)
         storable = norm["kind"] != "sleep"
         if storable:
+            probe_start = spans.now_us()
             hit = await self._store_io(self.store.get, key)
+            spans.span("probe", probe_start, {"hit": hit is not None})
             if hit is not None:
-                self.metrics.cas_hits += 1
+                self.metrics.cas_hit()
+                self._finish_submit(request_id, spans, norm, key,
+                                    200, "cached", log_ctx)
                 return 200, dict(hit, cached=True, coalesced=False,
                                  key=key), {}
 
         entry = self._inflight.get(key)
         if entry is not None:
-            self.metrics.coalesce_hits += 1
+            self.metrics.coalesce_hit()
             entry.waiters += 1
             coalesced = True
         else:
             if len(self._inflight) >= self.config.queue_limit:
-                self.metrics.shed += 1
+                self.metrics.shed_one()
+                self._finish_submit(request_id, spans, norm, key,
+                                    429, "shed", log_ctx)
                 return 429, error_body(
                     429, f"server saturated ({self.config.queue_limit} "
                          f"jobs in flight); retry shortly"), \
                     {"Retry-After": "1"}
             loop = asyncio.get_running_loop()
-            entry = _Inflight(future=loop.create_future())
+            entry = _Inflight(future=loop.create_future(),
+                              request_id=request_id,
+                              started=time.perf_counter())
             self._inflight[key] = entry
             # The job task is detached from every client connection:
             # a disconnecting waiter can never cancel the simulation
             # for the others (or for the CAS).
             entry.task = loop.create_task(
-                self._run_job(key, norm, storable, entry.future))
+                self._run_job(key, norm, storable, entry))
             coalesced = False
+
+        wait_start = spans.now_us()
+
+        def finish(status: int, outcome: str) -> None:
+            spans.span("job_wait", wait_start,
+                       {"coalesced": coalesced,
+                        "job_request_id": entry.request_id})
+            self._finish_submit(request_id, spans, norm, key, status,
+                                outcome, log_ctx, entry=entry)
 
         try:
             payload = await asyncio.shield(entry.future)
         except JobTimeout as exc:
+            finish(504, "timeout")
             return 504, error_body(504, str(exc)), {}
         except WorkerCrash as exc:
+            finish(500, "crash")
             return 500, error_body(500, str(exc)), {}
         except asyncio.CancelledError:
             raise
         except Exception as exc:
+            finish(500, "error")
             return 500, error_body(500, f"{type(exc).__name__}: "
                                         f"{exc}"), {}
         if payload.get("status") != "ok":
             code = int(payload.get("code", 500))
+            finish(code, "error")
             return code, dict(payload, key=key), {}
+        finish(200, "coalesced" if coalesced else "fresh")
         return 200, dict(payload, cached=False, coalesced=coalesced,
                          key=key), {}
 
     async def _run_job(self, key: str, norm: dict, storable: bool,
-                       future: asyncio.Future) -> None:
+                       entry: _Inflight) -> None:
         # Whatever happens — timeout, crash, a store/GC failure, even
         # cancellation — the finally block always reclaims the inflight
         # slot and completes the future.  An entry that outlived its job
         # would poison the key (new requests attach to a dead future so
         # every waiter hangs) and permanently burn a queue_limit slot.
+        future = entry.future
         payload: dict | None = None
         error: BaseException | None = None
+        jspans = RequestSpans()  # job timeline: zero = job creation
+        obs: dict = {"trace": True, "request_id": entry.request_id}
+        worker_trace: dict | None = None
+        queue_end = 0
         try:
+            queue_start = jspans.now_us()
             try:
                 payload = await self.pool.run(
-                    norm, timeout=self.config.timeout_s)
+                    norm, timeout=self.config.timeout_s, obs=obs)
             except JobTimeout as exc:
-                self.metrics.timeouts += 1
+                self.metrics.timeout()
                 error = exc
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
-                self.metrics.job_errors += 1
+                self.metrics.job_error()
                 error = exc
-            else:
-                self.metrics.jobs_executed += 1
+            queue_end = queue_start + int(
+                obs.get("queue_ms", 0.0) * 1e3)
+            jspans.span("queue", queue_start, end_us=queue_end)
+            jspans.span("worker", queue_end,
+                        {"ok": error is None,
+                         "request_id": entry.request_id})
+            if payload is not None:
+                # The worker's span records ride out-of-band and are
+                # stripped here: neither the CAS nor any client may
+                # see them (results stay byte-identical with tracing
+                # on or off).
+                worker_trace = payload.pop("_trace", None)
+            if error is None and payload is not None:
+                self.metrics.job_executed()
                 if payload.get("status") != "ok":
-                    self.metrics.job_errors += 1
+                    self.metrics.job_error()
                 elif storable:
+                    store_start = jspans.now_us()
                     try:
                         await self._store_io(self.store.put, key,
                                              payload)
+                        jspans.span("store", store_start, {"key": key})
                         await self._maybe_gc()
                     except asyncio.CancelledError:
                         raise
@@ -374,6 +689,19 @@ class Server:
                         # must never fail the finished simulation.
                         pass
         finally:
+            job_info = {"request_id": entry.request_id,
+                        "spans": jspans.records,
+                        "worker_anchor_us": queue_end}
+            if worker_trace:
+                job_info["worker_spans"] = \
+                    worker_trace.get("worker_spans", [])
+                job_info["worker"] = worker_trace.get("worker")
+                job_info["pid"] = worker_trace.get("pid")
+            entry.job_info = job_info
+            self.metrics.observe_stages(
+                {**jspans.stage_ms(),
+                 **worker_stage_ms(
+                     (worker_trace or {}).get("worker_spans", []))})
             self._inflight.pop(key, None)
             if not future.done():
                 if error is not None:
@@ -388,6 +716,7 @@ class Server:
         budget = self.config.cas_max_bytes
         if budget and self.store.stores % 32 == 0:
             await self._store_io(self.store.gc, budget)
+            self.log.emit("cas_gc", budget_bytes=budget)
 
 
 async def serve_forever(config: ServeConfig) -> None:

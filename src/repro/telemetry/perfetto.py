@@ -17,6 +17,12 @@ Serialises flight-recorder data as the Trace Event Format JSON that
 The two pids keep the two timebases (simulated cycles vs wall
 microseconds) from sharing an axis.
 
+:func:`build_request_trace` renders a second document kind — the
+per-request cross-process span tree ``repro serve`` records (see
+:mod:`repro.obs.trace`): server-side stage spans on pid 1, the
+executing pool worker's spans on pid 2, one request id in
+``otherData``.
+
 Determinism: simulated-time events are exactly reproducible; wall-clock
 events are not.  :func:`canonical_json` therefore zeroes ``ts``/``dur``
 on every pipeline-pid event and serialises with sorted keys, giving a
@@ -32,9 +38,17 @@ import json
 #: Trace schema tag, recorded in ``otherData``.
 TRACE_SCHEMA = "repro-timeline-trace-v1"
 
+#: Schema tag of per-request serve traces (``GET /v1/trace/<id>``).
+REQUEST_TRACE_SCHEMA = "repro-request-trace-v1"
+
 #: Synthetic process IDs: simulated-time tracks vs wall-clock tracks.
 SIM_PID = 1
 PIPELINE_PID = 2
+
+#: Request-trace documents use their own pid pair: the serving process
+#: vs the pool worker that executed the job.
+REQUEST_SERVER_PID = 1
+REQUEST_WORKER_PID = 2
 
 #: Span categories get stable thread IDs so Perfetto groups them.
 _CATEGORY_TIDS = {"bench": 1, "frontend": 2, "pass": 3, "compile": 4,
@@ -143,6 +157,88 @@ def build_trace(rows: list[dict], recorder=None,
         events.extend(span_events(recorder))
     other = {"schema": TRACE_SCHEMA, "generator": "repro timeline"}
     other.update(meta or {})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def _record_events(records: list[dict], pid: int, tid: int,
+                   offset_us: int = 0) -> list[dict]:
+    """Render span/instant records (the shared
+    :class:`~repro.telemetry.spans.SpanRecorder` record shape) as
+    trace events on one thread, shifted by ``offset_us``."""
+    events: list[dict] = []
+    for record in records:
+        if record.get("type") == "span":
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid,
+                "cat": record.get("category", "span"),
+                "name": record["name"],
+                "ts": record["start_us"] + offset_us,
+                "dur": record["dur_us"],
+                "args": dict(record.get("args", {}))})
+        elif record.get("type") == "instant":
+            events.append({
+                "ph": "i", "s": "t", "pid": pid, "tid": tid,
+                "cat": record.get("category", "span"),
+                "name": record["name"],
+                "ts": record["ts_us"] + offset_us,
+                "args": dict(record.get("args", {}))})
+    return events
+
+
+def build_request_trace(record: dict) -> dict:
+    """One serve request as a loadable Chrome trace-event document.
+
+    ``record`` is a ``repro-request-trace-v1`` entry from the server's
+    trace buffer (see :mod:`repro.obs.trace`).  The document crosses
+    the process boundary under one request id:
+
+    * **pid 1 — "server"**: tid 1 carries the waiter's stage spans
+      (admission, CAS probe, job wait, respond); tid 2 carries the
+      shared job's spans (queue, worker round-trip, CAS store),
+      anchored at the job's start offset within the waiter's timeline
+      (coalesced waiters that joined after the job started anchor at
+      0).
+    * **pid 2 — "worker"**: the worker-process SpanRecorder records —
+      frontend compile, per-pass spans, fuse/trace-JIT compile spans
+      and instants, bench build/prepare/simulate/validate — anchored
+      where the job's queue span ends (accurate to one pipe send).
+
+    All timestamps are wall microseconds from the waiter's admission.
+    """
+    events = _meta(REQUEST_SERVER_PID, "server (repro serve)",
+                   tid=1, thread_name="request")
+    events.extend(_record_events(record.get("server_spans", []),
+                                 REQUEST_SERVER_PID, tid=1))
+    job = record.get("job")
+    if job:
+        job_offset = int(job.get("start_offset_us", 0))
+        events.extend(_meta(REQUEST_SERVER_PID, "server (repro serve)",
+                            tid=2, thread_name="job")[1:])
+        events.extend(_record_events(job.get("spans", []),
+                                     REQUEST_SERVER_PID, tid=2,
+                                     offset_us=job_offset))
+        worker_spans = job.get("worker_spans") or []
+        if worker_spans:
+            worker_name = (f"worker {job.get('worker', '?')} "
+                           f"(pid {job.get('pid', '?')})")
+            events.extend(_meta(REQUEST_WORKER_PID, worker_name,
+                                tid=1, thread_name="execute"))
+            anchor = job_offset + int(job.get("worker_anchor_us", 0))
+            events.extend(_record_events(worker_spans,
+                                         REQUEST_WORKER_PID, tid=1,
+                                         offset_us=anchor))
+    other = {"schema": REQUEST_TRACE_SCHEMA,
+             "generator": "repro serve",
+             "request_id": record.get("request_id"),
+             "outcome": record.get("outcome"),
+             "status": record.get("status"),
+             "workload": record.get("workload"),
+             "tier": record.get("tier")}
+    if record.get("key"):
+        other["key"] = record["key"]
+    if job:
+        other["job_request_id"] = job.get("request_id")
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": other}
 

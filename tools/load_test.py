@@ -42,6 +42,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs.metrics import nearest_rank  # noqa: E402
 from repro.serve.client import AsyncClient, get_metrics  # noqa: E402
 
 
@@ -145,11 +146,10 @@ async def run_load(host: str, port: int, uniques: list[dict],
 
 
 def percentile(ordered: list[float], pct: float) -> float:
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1,
-                      round(pct / 100.0 * len(ordered)) - 1))
-    return ordered[rank]
+    """Nearest-rank percentile (ceil-based; see repro.obs.metrics —
+    the old round()-based form under-reported, e.g. p50 of 5 samples
+    answered the 2nd, not the 3rd)."""
+    return nearest_rank(ordered, pct)
 
 
 def git_sha() -> str:
@@ -270,6 +270,14 @@ def main() -> int:
                 "max": round(ordered[-1], 3) if ordered else 0.0},
             "jobs_executed": metrics["jobs"]["executed"],
             "worker_restarts": metrics["workers"]["restarts"],
+            # Server-side per-stage p50/p99 from the labeled metrics
+            # registry (admission/probe/queue/worker/compile/simulate/
+            # store) — where a request's time actually went.
+            "stage_latency_ms": {
+                stage: {"count": row["count"], "p50": row["p50"],
+                        "p99": row["p99"], "max": row["max"]}
+                for stage, row in sorted(
+                    metrics.get("stages", {}).items())},
         },
     }
     with open(args.output, "w") as handle:
